@@ -1,0 +1,82 @@
+"""Ablation A2 — sensitivity of the path-index cost heuristics (§5.1).
+
+The paper admits its operator costs are "a heuristic based on a small number
+of benchmarks" and adds debug parameters to scale them. This ablation sweeps
+the scale factor and reports, for the correlated full-pattern query with all
+indexes registered, which operator family the planner picks naturally and
+how it performs. Expected shape: tiny factors force index plans, huge factors
+push the planner back to the (much slower) expansion baseline, and there is a
+wide middle band where the choice is stable — the heuristic constants are not
+knife-edge.
+"""
+
+import pytest
+
+from benchmarks._shared import build_correlated
+from repro import PlannerHints
+from repro.bench import format_ms, write_report
+from repro.bench.reporting import render_table
+from repro.datasets import correlated
+
+FACTORS = (0.001, 0.1, 0.5, 1.0, 2.0, 10.0, 1000.0, 1e6)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ctx = build_correlated()
+    ctx.db.create_path_index("Full", correlated.FULL_PATTERN)
+    for name, pattern in correlated.SUB_PATTERNS.items():
+        ctx.db.create_path_index(name, pattern)
+    return ctx
+
+
+def _uses_path_index(plan) -> bool:
+    return bool(plan.indexes_used)
+
+
+def _run_table(ctx) -> dict:
+    rows = []
+    data_out = {"rows": {}}
+    for factor in FACTORS:
+        hints = PlannerHints(path_index_cost_factor=factor)
+        measurement = ctx.methodology.measure_query(correlated.FULL_QUERY, hints)
+        result = ctx.db.execute(correlated.FULL_QUERY, hints)
+        result.consume()
+        uses_index = any(plan.indexes_used for plan in result.plans)
+        rows.append(
+            (
+                f"{factor:g}",
+                "path index" if uses_index else "expansion",
+                format_ms(measurement.last_result_s),
+                f"{measurement.max_intermediate_cardinality:,}",
+            )
+        )
+        data_out["rows"][str(factor)] = {
+            "uses_path_index": uses_index,
+            "last_s": measurement.last_result_s,
+            "max_intermediate_cardinality": (
+                measurement.max_intermediate_cardinality
+            ),
+        }
+    table = render_table(
+        "Ablation A2 — path-index cost-factor sweep (correlated full query, "
+        "natural planning)",
+        ("Cost factor", "Chosen plan family", "Last result",
+         "Max interm. card."),
+        rows,
+    )
+    write_report("ablation_a2_cost_heuristics", table, data_out)
+    return data_out
+
+
+def test_ablation_a2_report(setup, benchmark):
+    data = benchmark.pedantic(lambda: _run_table(setup), rounds=1, iterations=1)
+    rows = data["rows"]
+    # Extremes behave as designed.
+    assert rows["0.001"]["uses_path_index"]
+    assert not rows["1000000.0"]["uses_path_index"]
+    # Whenever an index plan is chosen it is far faster than expansion.
+    slow = max(meta["last_s"] for meta in rows.values())
+    for factor, meta in rows.items():
+        if meta["uses_path_index"]:
+            assert meta["last_s"] < slow / 3, factor

@@ -1,0 +1,99 @@
+"""Ablation A4 — exact index cardinalities in the estimator (§9 future work).
+
+The paper observes that "path indexes can provide accurate cardinality values
+for the patterns that they index" but leaves combining them with the
+estimator as future work. This repository implements that combination behind
+``PlannerHints(use_index_cardinality=True)``: index scans report their true
+entry count and downstream operators scale incrementally from it.
+
+The ablation compares *natural* (unforced) planning on the correlated and
+YAGO-like workloads with and without the refinement, all indexes registered.
+Expected shape: with the paper's estimator the planner can be misled into
+plans orders of magnitude off its best; with exact index cardinalities it
+finds the near-optimal index plan on its own — no forcing needed.
+"""
+
+import pytest
+
+from benchmarks._shared import build_correlated, build_yago
+from repro import PlannerHints
+from repro.bench import format_ms, write_report
+from repro.bench.reporting import render_table
+from repro.datasets import correlated, yago
+
+EXACT = PlannerHints(use_index_cardinality=True)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corr = build_correlated()
+    corr.db.create_path_index("Full", correlated.FULL_PATTERN)
+    for name, pattern in correlated.SUB_PATTERNS.items():
+        corr.db.create_path_index(name, pattern)
+    yago_ctx = build_yago()
+    yago_ctx.db.create_path_index("Full", yago.FULL_PATTERN)
+    for name, pattern in yago.SUB_PATTERNS.items():
+        yago_ctx.db.create_path_index(name, pattern)
+    return corr, yago_ctx
+
+
+def _run_table(setup) -> dict:
+    corr, yago_ctx = setup
+    cells = {
+        ("correlated", "paper estimator"): corr.methodology.measure_query(
+            correlated.FULL_QUERY, None
+        ),
+        ("correlated", "exact index card."): corr.methodology.measure_query(
+            correlated.FULL_QUERY, EXACT
+        ),
+        ("yago-like", "paper estimator"): yago_ctx.methodology.measure_query(
+            yago.FULL_QUERY, None
+        ),
+        ("yago-like", "exact index card."): yago_ctx.methodology.measure_query(
+            yago.FULL_QUERY, EXACT
+        ),
+    }
+    rows = [
+        (
+            f"{workload}, {mode}",
+            format_ms(cell.last_result_s),
+            f"{cell.max_intermediate_cardinality:,}",
+        )
+        for (workload, mode), cell in cells.items()
+    ]
+    data = {
+        "rows": {
+            f"{workload}|{mode}": {
+                "last_s": cell.last_result_s,
+                "max_intermediate_cardinality": cell.max_intermediate_cardinality,
+            }
+            for (workload, mode), cell in cells.items()
+        }
+    }
+    table = render_table(
+        "Ablation A4 — natural planning with exact index cardinalities "
+        "(§9 future work, implemented)",
+        ("Workload / estimator", "Last result", "Max interm. card."),
+        rows,
+        note="No forced plans: the planner chooses freely among all indexes.",
+    )
+    write_report("ablation_a4_index_cardinality", table, data)
+    return data
+
+
+def test_ablation_a4_report(setup, benchmark):
+    data = benchmark.pedantic(lambda: _run_table(setup), rounds=1, iterations=1)
+    rows = data["rows"]
+    # Exact cardinalities never hurt and fix the YAGO mislead decisively.
+    assert (
+        rows["yago-like|exact index card."]["last_s"]
+        < rows["yago-like|paper estimator"]["last_s"] / 5
+    )
+    assert (
+        rows["correlated|exact index card."]["last_s"]
+        <= rows["correlated|paper estimator"]["last_s"] * 1.5
+    )
+    assert (
+        rows["yago-like|exact index card."]["max_intermediate_cardinality"]
+        < rows["yago-like|paper estimator"]["max_intermediate_cardinality"]
+    )

@@ -1,0 +1,73 @@
+"""Table 5 — independent data: baseline vs. full-pattern index.
+
+On uncorrelated scale-free data the full index still wins, but only by a
+small factor (paper: last-result cached ≈ 2.0×, cold ≈ 1.6×) — the paper's
+demonstration that path indexes need correlation/selectivity to shine.
+"""
+
+import pytest
+
+from benchmarks._shared import BASELINE_HINTS, build_independent, forced
+from repro.bench import format_ms, format_speedup, write_report
+from repro.bench.reporting import render_table
+from repro.datasets import independent
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ctx = build_independent()
+    ctx.db.create_path_index("Full", independent.FULL_PATTERN)
+    return ctx
+
+
+def _run_table(ctx) -> dict:
+    query = independent.FULL_QUERY
+    cells = {}
+    for cold in (False, True):
+        cells[("baseline", cold)] = ctx.methodology.measure_query(
+            query, BASELINE_HINTS, cold=cold
+        )
+        cells[("full", cold)] = ctx.methodology.measure_query(
+            query, forced("Full"), cold=cold
+        )
+    rows = []
+    data = {"config": vars(ctx.data.config), "cells": {}}
+    for label, metric, cold in (
+        ("First result, cached", "first_result_s", False),
+        ("Last result, cached", "last_result_s", False),
+        ("First result, cold", "first_result_s", True),
+        ("Last result, cold", "last_result_s", True),
+    ):
+        base = getattr(cells[("baseline", cold)], metric)
+        full = getattr(cells[("full", cold)], metric)
+        rows.append(
+            (label, format_ms(base), format_ms(full), format_speedup(base, full))
+        )
+        data["cells"][label] = {
+            "baseline_s": base,
+            "full_index_s": full,
+            "speedup": base / full if full else None,
+        }
+    data["result_rows"] = cells[("full", False)].rows
+    table = render_table(
+        "Table 5 — independent data: baseline vs full path index",
+        ("Result", "Baseline", "Full Index", "Speed-up"),
+        rows,
+        note=(
+            f"dataset: {ctx.data.node_count} nodes, "
+            f"{ctx.data.relationship_count} relationships "
+            f"(paper: 250 000 / 5 000 000); result cardinality "
+            f"{cells[('full', False)].rows} (paper: 862 345)"
+        ),
+    )
+    write_report("table05_independent_full", table, data)
+    return data
+
+
+def test_table05_report(setup, benchmark):
+    data = benchmark.pedantic(lambda: _run_table(setup), rounds=1, iterations=1)
+    last_cached = data["cells"]["Last result, cached"]["speedup"]
+    # Modest gains only: far below the correlated dataset's two orders of
+    # magnitude, but the index should not lose outright.
+    assert 0.8 < last_cached < 20
+    assert data["result_rows"] > 0

@@ -1,0 +1,151 @@
+"""Table 10 + Figures 9/10 — YAGO-like data: Baseline / Manual / Full / Subs.
+
+Rows: the natural baseline plan, the hand-ordered Manual plan (no indexes,
+§7.3), the Full-pattern index plan and the three forced sub-index plans; each
+reports last-result time and max intermediate state cardinality. Figure 9 is
+the log-scale chart of both metrics; Figure 10 renders the four plan trees
+with their *measured* per-operator cardinalities.
+
+Paper shape: Sub1 < Full < Manual ≪ Baseline; Sub2/Sub3 ≈ Baseline; max
+intermediate cardinality tracks running time.
+"""
+
+import pytest
+
+from benchmarks._shared import BASELINE_HINTS, build_yago, forced
+from repro.bench import format_ms, format_speedup, write_report
+from repro.bench.reporting import render_bar_chart, render_table
+from repro.datasets import yago
+from repro.planner import PlannerHints
+
+MANUAL_HINTS = PlannerHints(
+    use_path_indexes=False, manual_expand_chain=yago.MANUAL_CHAIN
+)
+
+
+def seeded(index_name: str, expansions: tuple[str, ...]) -> PlannerHints:
+    """The Figure 10 plan shape: scan the index, expand the rest outward."""
+    return PlannerHints(index_seed_chain=(index_name, expansions))
+
+
+PLAN_HINTS = {
+    "Baseline": BASELINE_HINTS,
+    "Manual": MANUAL_HINTS,
+    "Full": seeded("Full", ()),
+    "Sub1": seeded("Sub1", ("y", "z")),
+    "Sub2": seeded("Sub2", ("w", "z")),
+    "Sub3": seeded("Sub3", ("v", "w")),
+}
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ctx = build_yago()
+    ctx.db.create_path_index("Full", yago.FULL_PATTERN)
+    for name, pattern in yago.SUB_PATTERNS.items():
+        ctx.db.create_path_index(name, pattern)
+    return ctx
+
+
+def _plan_figure(ctx, plans: dict) -> str:
+    """Figure 10: annotated plan trees with measured operator cardinalities."""
+    sections = []
+    for name, hints in plans.items():
+        result = ctx.db.execute(yago.FULL_QUERY, hints)
+        result.consume()
+        lines = [f"--- {name} plan (measured rows per operator) ---"]
+        lines.append(result.plan_description())
+        lines.append("measured:")
+        for description, count in result.profile.rows_by_operator():
+            lines.append(f"  {count:>12,}  {description}")
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)
+
+
+def _run_table(ctx) -> dict:
+    query = yago.FULL_QUERY
+    plan_hints = PLAN_HINTS
+    cells = {
+        name: ctx.methodology.measure_query(query, hints)
+        for name, hints in plan_hints.items()
+    }
+    base = cells["Baseline"].last_result_s
+    manual = cells["Manual"].last_result_s
+    rows = []
+    data = {"config": vars(ctx.data.config), "rows": {}}
+    for name, cell in cells.items():
+        rows.append(
+            (
+                name,
+                format_ms(cell.last_result_s),
+                f"{cell.max_intermediate_cardinality:,}",
+                "-" if name == "Baseline" else format_speedup(
+                    base, cell.last_result_s
+                ),
+                "-" if name in ("Baseline", "Manual") else format_speedup(
+                    manual, cell.last_result_s
+                ),
+            )
+        )
+        data["rows"][name] = {
+            "last_s": cell.last_result_s,
+            "max_intermediate_cardinality": cell.max_intermediate_cardinality,
+            "rows": cell.rows,
+        }
+    table = render_table(
+        "Table 10 — YAGO-like data: query performance per plan",
+        ("Name", "Last result", "Max interm. card.", "Speed-up (Baseline)",
+         "Speed-up (Manual)"),
+        rows,
+        note=(
+            f"result cardinality {cells['Full'].rows} "
+            f"(paper: 2 320); Manual = hand-ordered expansion "
+            f"{yago.MANUAL_CHAIN}"
+        ),
+    )
+    chart = render_bar_chart(
+        "Figure 9 — YAGO-like data: running time vs max intermediate cardinality",
+        {
+            "Last result (ms)": {
+                name: cell.last_result_ms for name, cell in cells.items()
+            },
+            "Max interm. cardinality": {
+                name: float(cell.max_intermediate_cardinality)
+                for name, cell in cells.items()
+            },
+        },
+        unit="ms / rows",
+    )
+    figure10 = _plan_figure(
+        ctx,
+        {
+            "Baseline": BASELINE_HINTS,
+            "Manual": MANUAL_HINTS,
+            "Full": PLAN_HINTS["Full"],
+            "Sub1": PLAN_HINTS["Sub1"],
+        },
+    )
+    write_report(
+        "table10_fig09_fig10_yago",
+        table + "\n\n" + chart + "\n\n== Figure 10 — plans ==\n" + figure10,
+        data,
+    )
+    return data
+
+
+def test_table10_fig09_fig10_report(setup, benchmark):
+    data = benchmark.pedantic(lambda: _run_table(setup), rounds=1, iterations=1)
+    rows = data["rows"]
+    # Every plan agrees on the result.
+    expected = setup.data.expected_full_cardinality
+    assert {meta["rows"] for meta in rows.values()} == {expected}
+    # The paper's ordering: Sub1 and Full beat Manual, Manual beats Baseline.
+    assert rows["Sub1"]["last_s"] < rows["Manual"]["last_s"]
+    assert rows["Full"]["last_s"] < rows["Manual"]["last_s"]
+    assert rows["Manual"]["last_s"] < rows["Baseline"]["last_s"]
+    # Max intermediate cardinality tracks the ordering (Figure 9).
+    assert (
+        rows["Full"]["max_intermediate_cardinality"]
+        <= rows["Manual"]["max_intermediate_cardinality"]
+        <= rows["Baseline"]["max_intermediate_cardinality"]
+    )

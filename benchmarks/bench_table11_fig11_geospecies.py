@@ -1,0 +1,92 @@
+"""Table 11 + Figure 11 — GeoSpecies-like data: Baseline / Full / Sub.
+
+The diamond query's result set is its own largest intermediate state, so no
+plan can skip work: Full ≈ Baseline, Sub slightly slower (paper: 1 350 ms /
+1 173 ms / 1 426 ms — all within ±20%, all with identical max intermediate
+cardinality). This is the paper's demonstration that path indexes pay off by
+avoiding large intermediates, not by reading results faster.
+"""
+
+import pytest
+
+from benchmarks._shared import BASELINE_HINTS, build_geospecies, forced
+from repro.bench import format_ms, write_report
+from repro.bench.reporting import render_bar_chart, render_table
+from repro.datasets import geospecies
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ctx = build_geospecies()
+    ctx.db.create_path_index("Full", geospecies.FULL_PATTERN)
+    ctx.db.create_path_index("Sub", geospecies.SUB_PATTERN)
+    return ctx
+
+
+def _run_table(ctx) -> dict:
+    query = geospecies.FULL_QUERY
+    cells = {
+        "Baseline": ctx.methodology.measure_query(query, BASELINE_HINTS),
+        "Full": ctx.methodology.measure_query(query, forced("Full")),
+        "Sub": ctx.methodology.measure_query(query, forced("Sub")),
+    }
+    rows = [
+        (
+            name,
+            format_ms(cell.last_result_s),
+            f"{cell.max_intermediate_cardinality:,}",
+        )
+        for name, cell in cells.items()
+    ]
+    data = {
+        "config": vars(ctx.data.config),
+        "rows": {
+            name: {
+                "last_s": cell.last_result_s,
+                "max_intermediate_cardinality": cell.max_intermediate_cardinality,
+                "rows": cell.rows,
+            }
+            for name, cell in cells.items()
+        },
+    }
+    table = render_table(
+        "Table 11 — GeoSpecies-like data: query performance",
+        ("Name", "Last result", "Max interm. cardinality"),
+        rows,
+        note=(
+            f"result cardinality {cells['Baseline'].rows} "
+            f"(paper: 334 126); no plan can avoid materializing it"
+        ),
+    )
+    chart = render_bar_chart(
+        "Figure 11 — GeoSpecies-like data: running time vs max intermediate "
+        "cardinality",
+        {
+            "Last result (ms)": {
+                name: cell.last_result_ms for name, cell in cells.items()
+            },
+            "Max interm. cardinality": {
+                name: float(cell.max_intermediate_cardinality)
+                for name, cell in cells.items()
+            },
+        },
+        unit="ms / rows",
+    )
+    write_report("table11_fig11_geospecies", table + "\n\n" + chart, data)
+    return data
+
+
+def test_table11_fig11_report(setup, benchmark):
+    data = benchmark.pedantic(lambda: _run_table(setup), rounds=1, iterations=1)
+    rows = data["rows"]
+    result = rows["Baseline"]["rows"]
+    assert result > 0
+    assert {meta["rows"] for meta in rows.values()} == {result}
+    # Indexed plans bring no order-of-magnitude change (paper: 0.9×–1.2×).
+    baseline = rows["Baseline"]["last_s"]
+    for name in ("Full", "Sub"):
+        assert 0.2 < baseline / rows[name]["last_s"] < 5, name
+    # The result set is the largest intermediate state under every plan.
+    for name, meta in rows.items():
+        assert meta["max_intermediate_cardinality"] >= result, name
+        assert meta["max_intermediate_cardinality"] <= 2 * result, name

@@ -1,0 +1,5 @@
+"""Legacy setuptools shim for offline editable installs (no `wheel` available)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""pathindex-repro: reproduction of *Path Indexing in the Cypher Query
+Pipeline* (EDBT 2021).
+
+A pure-Python embedded property-graph database with a Neo4j-3.5-style record
+storage layer, a Cypher query subset, a cost-based IDP planner, and — the
+paper's contribution — **path indexes** integrated into the pipeline: three
+query operators (PathIndexScan, PathIndexFilteredScan, PathIndexPrefixSeek),
+query-based index maintenance (Algorithm 1), and index initialization
+(Algorithm 2).
+
+Public API highlights:
+
+* :class:`GraphDatabase` — open a database, ``execute`` Cypher, create and
+  maintain path indexes, control the page cache for cold-run experiments.
+* :class:`PathPattern` — parse/compose the patterns path indexes cover.
+* :class:`PlannerHints` — the evaluation's forced-plan controls.
+"""
+
+from repro.db import GraphDatabase, IndexCreationStats, Result
+from repro.errors import (
+    ConstraintViolationError,
+    CypherSemanticError,
+    CypherSyntaxError,
+    PathIndexError,
+    PatternSyntaxError,
+    PlannerError,
+    ReproError,
+    StorageError,
+    TransactionError,
+)
+from repro.pathindex import PathPattern
+from repro.planner import PlannerHints
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstraintViolationError",
+    "CypherSemanticError",
+    "CypherSyntaxError",
+    "GraphDatabase",
+    "IndexCreationStats",
+    "PathIndexError",
+    "PathPattern",
+    "PatternSyntaxError",
+    "PlannerError",
+    "PlannerHints",
+    "ReproError",
+    "Result",
+    "StorageError",
+    "TransactionError",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the interactive Cypher shell."""
+
+import sys
+
+from repro.shell import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Benchmark support: the paper's measurement methodology and reporting.
+
+§6.3: "Each experiment ran until running time converges ... Then we ran the
+experiment five times, triggering a garbage collection cycle between each
+run. We then discarded the highest and lowest running time and averaged the
+middle three." :class:`Methodology` implements exactly that, including cold
+runs via page-cache flush plus simulated NVMe latency per page miss.
+"""
+
+from repro.bench.harness import Measurement, Methodology
+from repro.bench.reporting import (
+    format_bytes,
+    format_ms,
+    format_speedup,
+    render_table,
+    write_report,
+)
+
+__all__ = [
+    "Measurement",
+    "Methodology",
+    "format_bytes",
+    "format_ms",
+    "format_speedup",
+    "render_table",
+    "write_report",
+]

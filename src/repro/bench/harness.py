@@ -1,0 +1,152 @@
+"""The measurement methodology of §6.3, executable.
+
+``Methodology.measure_query`` runs a query with warm-up, N timed repetitions,
+drop-highest/lowest, average-middle — separately recording time-to-first and
+time-to-last result (§7.1.1's reporting). A *cold* measurement flushes the
+page cache before each repetition and charges the simulated per-page NVMe
+latency for every page miss, which reproduces the paper's cold/cached split
+without real disk I/O (DESIGN.md §3.1).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+from dataclasses import dataclass
+from statistics import mean
+from typing import Callable, Optional
+
+from repro.db.database import GraphDatabase
+from repro.planner import PlannerHints
+
+
+def configured_runs(default: int = 5) -> int:
+    """Timed repetitions per measurement (env ``REPRO_BENCH_RUNS``)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_RUNS", default)))
+
+
+def bench_scale() -> float:
+    """Global dataset scale multiplier (env ``REPRO_BENCH_SCALE``)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@dataclass
+class Measurement:
+    """Aggregated result of one benchmark cell."""
+
+    first_result_s: float
+    last_result_s: float
+    rows: int
+    max_intermediate_cardinality: int
+    runs: int
+    cold: bool
+
+    @property
+    def first_result_ms(self) -> float:
+        return self.first_result_s * 1e3
+
+    @property
+    def last_result_ms(self) -> float:
+        return self.last_result_s * 1e3
+
+
+class Methodology:
+    """Warm-up, repeat, drop hi/lo, average middle (§6.3)."""
+
+    def __init__(
+        self,
+        db: GraphDatabase,
+        warmup_runs: int = 1,
+        runs: Optional[int] = None,
+    ) -> None:
+        self.db = db
+        self.warmup_runs = warmup_runs
+        self.runs = runs if runs is not None else configured_runs()
+
+    # ------------------------------------------------------------------
+
+    def measure_query(
+        self,
+        query: str,
+        hints: Optional[PlannerHints] = None,
+        cold: bool = False,
+    ) -> Measurement:
+        """Measure first/last-result times for one query under one plan."""
+        for _ in range(self.warmup_runs):
+            self._single_run(query, hints, cold=cold)
+        samples = [self._single_run(query, hints, cold=cold) for _ in range(self.runs)]
+        kept = self._middle_runs(samples)
+        return Measurement(
+            first_result_s=mean(sample[0] for sample in kept),
+            last_result_s=mean(sample[1] for sample in kept),
+            rows=kept[-1][2],
+            max_intermediate_cardinality=kept[-1][3],
+            runs=self.runs,
+            cold=cold,
+        )
+
+    def measure_callable(
+        self, operation: Callable[[], None], cold: bool = False
+    ) -> float:
+        """Average middle-three wall time of an arbitrary operation."""
+        for _ in range(self.warmup_runs):
+            self._prepare(cold)
+            operation()
+        times = []
+        for _ in range(self.runs):
+            self._prepare(cold)
+            started = time.perf_counter()
+            operation()
+            times.append(time.perf_counter() - started)
+        times.sort()
+        kept = times[1:-1] if len(times) > 2 else times
+        return mean(kept)
+
+    # ------------------------------------------------------------------
+
+    def _prepare(self, cold: bool) -> None:
+        gc.collect()  # "triggering a garbage collection cycle between runs"
+        if cold:
+            self.db.flush_cache()
+
+    def _single_run(
+        self, query: str, hints: Optional[PlannerHints], cold: bool
+    ) -> tuple[float, float, int, int]:
+        self._prepare(cold)
+        stats = self.db.page_cache.stats
+        before = stats.snapshot()
+        result = self.db.execute(query, hints)
+        rows = 0
+        first_wall = None
+        first_io = 0.0
+        iterator = iter(result)
+        while True:
+            try:
+                next(iterator)
+            except StopIteration:
+                break
+            rows += 1
+            if first_wall is None:
+                first_wall = result.time_to_first_result
+                first_io = stats.delta_since(before).simulated_io_seconds
+        last_wall = result.time_to_last_result
+        total_io = stats.delta_since(before).simulated_io_seconds
+        if first_wall is None:
+            first_wall, first_io = last_wall, total_io
+        if cold:
+            return (
+                first_wall + first_io,
+                last_wall + total_io,
+                rows,
+                result.max_intermediate_cardinality,
+            )
+        return (first_wall, last_wall, rows, result.max_intermediate_cardinality)
+
+    @staticmethod
+    def _middle_runs(samples: list[tuple]) -> list[tuple]:
+        """Drop the highest and lowest run (by last-result time)."""
+        if len(samples) <= 2:
+            return samples
+        ordered = sorted(samples, key=lambda sample: sample[1])
+        return ordered[1:-1]

@@ -1,0 +1,116 @@
+"""Rendering benchmark results as paper-style tables + JSON artifacts."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Sequence
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def format_ms(seconds: float) -> str:
+    """Milliseconds with the paper's two-decimal style."""
+    return f"{seconds * 1e3:,.2f} ms"
+
+
+def format_speedup(baseline_s: float, candidate_s: float) -> str:
+    """The paper's ``≈ N×`` speed-up notation."""
+    if candidate_s <= 0:
+        return "≈ inf"
+    factor = baseline_s / candidate_s
+    if factor >= 10:
+        return f"≈ {factor:,.0f}×"
+    return f"≈ {factor:.1f}×"
+
+
+def format_bytes(size: int) -> str:
+    """MiB with two decimals (Table 2's unit)."""
+    return f"{size / (1024 * 1024):.2f} MiB"
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    note: Optional[str] = None,
+) -> str:
+    """A monospace table in the style of the paper's result tables."""
+    columns = len(headers)
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for position in range(columns):
+            widths[position] = max(widths[position], len(str(row[position])))
+
+    def line(cells) -> str:
+        return "  ".join(
+            str(cell).ljust(widths[position]) if position == 0
+            else str(cell).rjust(widths[position])
+            for position, cell in enumerate(cells)
+        )
+
+    separator = "-" * (sum(widths) + 2 * (columns - 1))
+    parts = [f"== {title} ==", line(headers), separator]
+    parts.extend(line(row) for row in rows)
+    if note:
+        parts.append("")
+        parts.append(note)
+    return "\n".join(parts)
+
+
+def render_bar_chart(
+    title: str,
+    series: dict[str, dict[str, float]],
+    unit: str = "ms",
+    width: int = 50,
+) -> str:
+    """Log-scale ASCII bar chart (the paper's Figures 7/8/9/11).
+
+    ``series`` maps a series name (e.g. "Last result (cached)") to
+    ``{bar_label: value}``.
+    """
+    import math
+
+    values = [
+        value
+        for bars in series.values()
+        for value in bars.values()
+        if value > 0
+    ]
+    if not values:
+        return f"== {title} == (no data)"
+    low = math.log10(min(values)) - 0.1
+    high = math.log10(max(values)) + 0.1
+    span = max(high - low, 1e-9)
+    lines = [f"== {title} ==  (log scale, {unit})"]
+    label_width = max(
+        (len(label) for bars in series.values() for label in bars), default=4
+    )
+    for series_name, bars in series.items():
+        lines.append(f"-- {series_name} --")
+        for label, value in bars.items():
+            if value <= 0:
+                bar = ""
+            else:
+                filled = int(round((math.log10(value) - low) / span * width))
+                bar = "#" * max(filled, 1)
+            lines.append(f"  {label.ljust(label_width)} |{bar} {value:,.2f}")
+    return "\n".join(lines)
+
+
+def write_report(
+    name: str,
+    table_text: str,
+    data: dict,
+) -> Path:
+    """Print the table and persist both text and JSON under
+    ``benchmarks/results/``."""
+    print()
+    print(table_text)
+    results_dir = Path(os.environ.get("REPRO_RESULTS_DIR", RESULTS_DIR))
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / f"{name}.txt").write_text(table_text + "\n", encoding="utf-8")
+    with open(results_dir / f"{name}.json", "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, default=str)
+    return results_dir / f"{name}.txt"

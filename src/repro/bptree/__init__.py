@@ -1,0 +1,20 @@
+"""Page-based B+-tree storing composite identifier keys (paper §2.3.1, Fig. 4).
+
+One tree per indexed pattern; entries are tuples of 8-byte identifiers sorted
+lexicographically. The tree supports the three access paths the paper's query
+operators need: full sequential scan (PathIndexScan), prefix seek + scan
+(PathIndexPrefixSeek), and seek-at-least for the skip-scan trick of
+PathIndexFilteredScan.
+"""
+
+from repro.bptree.keys import IDENTIFIER_BYTES, entry_size_bytes, prefix_range
+from repro.bptree.pager import TreePager
+from repro.bptree.tree import BPlusTree
+
+__all__ = [
+    "BPlusTree",
+    "IDENTIFIER_BYTES",
+    "TreePager",
+    "entry_size_bytes",
+    "prefix_range",
+]

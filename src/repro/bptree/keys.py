@@ -1,0 +1,60 @@
+"""Composite-key helpers for the path-index B+-tree.
+
+Keys are fixed-width tuples of non-negative integers (node and relationship
+identifiers). Python tuples already compare lexicographically, which matches
+the byte-wise ordering of big-endian 8-byte identifiers, so no encoding is
+required for comparisons — only for size accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+IDENTIFIER_BYTES = 8
+"""Each identifier occupies 8 bytes in the tree (paper §2.3.1)."""
+
+
+def entry_size_bytes(key_width: int) -> int:
+    """On-disk bytes of one entry with ``key_width`` identifiers.
+
+    A path pattern of length ``k`` stores ``2k + 1`` identifiers, so its
+    entries are ``8 * (2k + 1)`` bytes (paper §2.3.1).
+    """
+    return IDENTIFIER_BYTES * key_width
+
+
+def validate_key(key: Sequence[int], key_width: int) -> tuple[int, ...]:
+    """Normalize ``key`` to a tuple and check its width and contents."""
+    key_tuple = tuple(key)
+    if len(key_tuple) != key_width:
+        raise ValueError(
+            f"key {key_tuple!r} has width {len(key_tuple)}, expected {key_width}"
+        )
+    for part in key_tuple:
+        if not isinstance(part, int) or part < 0:
+            raise ValueError(f"key component {part!r} is not a non-negative id")
+    return key_tuple
+
+
+def prefix_range(
+    prefix: Sequence[int], key_width: int
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Inclusive-lower / exclusive-upper key bounds covering ``prefix``.
+
+    ``lower`` pads the prefix with zeros to full width; ``upper`` is the
+    immediate successor of the prefix (last component + 1), again padded, so a
+    scan over ``[lower, upper)`` yields exactly the keys sharing the prefix.
+    An empty prefix covers the whole tree.
+    """
+    prefix_tuple = tuple(prefix)
+    if len(prefix_tuple) > key_width:
+        raise ValueError(
+            f"prefix {prefix_tuple!r} longer than key width {key_width}"
+        )
+    pad = key_width - len(prefix_tuple)
+    lower = prefix_tuple + (0,) * pad
+    if not prefix_tuple:
+        upper = (1 << 63,) * key_width  # beyond any real identifier
+    else:
+        upper = prefix_tuple[:-1] + (prefix_tuple[-1] + 1,) + (0,) * pad
+    return lower, upper

@@ -1,0 +1,24 @@
+"""Cypher front-end: lexer, parser, AST and semantic analysis.
+
+Implements the subset of Cypher the paper exercises (§2.1.3): `MATCH` with
+pattern expressions (labels, relationship types, direction), `WHERE`
+predicates, `WITH`/`RETURN` projection boundaries, and `CREATE`/`DELETE` for
+updates. The parser produces an AST; :func:`analyze` checks variable scoping
+across projection boundaries and annotates each variable as a node or
+relationship, ready for query-graph construction.
+"""
+
+from repro.cypher.lexer import Token, TokenType, tokenize
+from repro.cypher.parser import parse
+from repro.cypher.semantics import AnalyzedQuery, analyze
+from repro.cypher import ast
+
+__all__ = [
+    "AnalyzedQuery",
+    "Token",
+    "TokenType",
+    "analyze",
+    "ast",
+    "parse",
+    "tokenize",
+]

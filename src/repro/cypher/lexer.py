@@ -1,0 +1,201 @@
+"""Tokenizer for the Cypher subset.
+
+Keywords are case-insensitive (as in Cypher); identifiers, labels and types
+are case-sensitive. Comments (`//` to end of line) are skipped. Multi-char
+operators `<=`, `>=`, `<>` are combined here; pattern arrows (`->`, `<-`) are
+assembled by the parser from `-`, `<`, `>` tokens because `<` and `>` are also
+comparison operators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import CypherSyntaxError
+
+KEYWORDS = {
+    "MATCH",
+    "OPTIONAL",
+    "WHERE",
+    "WITH",
+    "RETURN",
+    "CREATE",
+    "DELETE",
+    "DETACH",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "XOR",
+    "TRUE",
+    "FALSE",
+    "NULL",
+    "DISTINCT",
+    "ORDER",
+    "BY",
+    "LIMIT",
+    "SKIP",
+    "ASC",
+    "DESC",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    COLON = ":"
+    COMMA = ","
+    DOT = "."
+    SEMICOLON = ";"
+    PIPE = "|"
+    MINUS = "-"
+    PLUS = "+"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "="
+    NEQ = "<>"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text in names
+
+
+_SINGLE_CHAR = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ":": TokenType.COLON,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    ";": TokenType.SEMICOLON,
+    "|": TokenType.PIPE,
+    "-": TokenType.MINUS,
+    "+": TokenType.PLUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "=": TokenType.EQ,
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`CypherSyntaxError` on bad input."""
+    return list(_token_stream(text))
+
+
+def _token_stream(text: str) -> Iterator[Token]:
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char == "/" and text.startswith("//", position):
+            newline = text.find("\n", position)
+            position = length if newline < 0 else newline + 1
+            continue
+        if char == "<":
+            if text.startswith("<=", position):
+                yield Token(TokenType.LE, "<=", position)
+                position += 2
+            elif text.startswith("<>", position):
+                yield Token(TokenType.NEQ, "<>", position)
+                position += 2
+            else:
+                yield Token(TokenType.LT, "<", position)
+                position += 1
+            continue
+        if char == ">":
+            if text.startswith(">=", position):
+                yield Token(TokenType.GE, ">=", position)
+                position += 2
+            else:
+                yield Token(TokenType.GT, ">", position)
+                position += 1
+            continue
+        if char in _SINGLE_CHAR:
+            yield Token(_SINGLE_CHAR[char], char, position)
+            position += 1
+            continue
+        if char.isdigit():
+            start = position
+            while position < length and text[position].isdigit():
+                position += 1
+            if (
+                position < length
+                and text[position] == "."
+                and position + 1 < length
+                and text[position + 1].isdigit()
+            ):
+                position += 1
+                while position < length and text[position].isdigit():
+                    position += 1
+                yield Token(TokenType.FLOAT, text[start:position], start)
+            else:
+                yield Token(TokenType.INTEGER, text[start:position], start)
+            continue
+        if char in ("'", '"'):
+            start = position
+            position += 1
+            chunks: list[str] = []
+            while position < length and text[position] != char:
+                if text[position] == "\\" and position + 1 < length:
+                    chunks.append(text[position + 1])
+                    position += 2
+                else:
+                    chunks.append(text[position])
+                    position += 1
+            if position >= length:
+                raise CypherSyntaxError("unterminated string literal", start)
+            position += 1
+            yield Token(TokenType.STRING, "".join(chunks), start)
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (
+                text[position].isalnum() or text[position] == "_"
+            ):
+                position += 1
+            word = text[start:position]
+            if word.upper() in KEYWORDS:
+                yield Token(TokenType.KEYWORD, word.upper(), start)
+            else:
+                yield Token(TokenType.IDENT, word, start)
+            continue
+        if char == "`":
+            start = position
+            end = text.find("`", position + 1)
+            if end < 0:
+                raise CypherSyntaxError("unterminated backtick identifier", start)
+            yield Token(TokenType.IDENT, text[position + 1 : end], start)
+            position = end + 1
+            continue
+        raise CypherSyntaxError(f"unexpected character {char!r}", position)
+    yield Token(TokenType.EOF, "", length)

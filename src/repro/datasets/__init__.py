@@ -1,0 +1,24 @@
+"""Dataset generators reproducing the paper's four workloads (§6.4).
+
+Each generator is a scaled synthetic stand-in that preserves the structural
+properties the evaluation depends on (full-pattern vs. sub-pattern
+cardinality ratios, intermediate-state blow-ups, correlation vs.
+independence). See DESIGN.md §3 for the substitution rationale and the
+per-generator docstrings for the exact construction.
+"""
+
+from repro.datasets.correlated import CorrelatedConfig, generate_correlated
+from repro.datasets.independent import IndependentConfig, generate_independent
+from repro.datasets.yago import YagoConfig, generate_yago
+from repro.datasets.geospecies import GeoSpeciesConfig, generate_geospecies
+
+__all__ = [
+    "CorrelatedConfig",
+    "GeoSpeciesConfig",
+    "IndependentConfig",
+    "YagoConfig",
+    "generate_correlated",
+    "generate_geospecies",
+    "generate_independent",
+    "generate_yago",
+]

@@ -1,0 +1,217 @@
+"""A YAGO-like synthetic dataset (§6.4/§7.3 substitute).
+
+The real YAGO dump (77M nodes) is unavailable offline and far beyond a
+pure-Python run, so this generator synthesizes a graph with the *query-
+relevant* structure of the paper's §7.3 experiment: the 6-step pattern
+
+    (a:wordnet_person)-[w:isAffiliatedTo]->(b:wordnet_person)
+        -[v:wasBornIn]->(c:port_settlement_in_USA)
+        -[x:owns]->(d:wordnet_artifact)
+        -[y:isConnectedTo]->(e:wordnet_artifact)
+        -[z:isConnectedTo]->(f:Resource)
+
+is **selective but correlated**, so the independence-model estimator
+mispredicts it badly (the paper selected it by misprediction factor).
+
+Construction (scaled; see ``YagoConfig``):
+
+* few settlements; only a subset *own* an artifact;
+* persons born in **non-owning** settlements are celebrities with many
+  incoming affiliations, persons born in owning settlements have exactly one
+  — global ``(:person)-[:isAffiliatedTo]->(:person)`` statistics cannot see
+  this, so the planner underestimates the person side and the natural
+  baseline plan explodes there (the paper's 42.7M-row intermediate,
+  DESIGN.md §3.3);
+* owned artifacts connect to a thin chain of hub artifacts (small y/z
+  fan-out) while a large artifact *core* carries dense ``isConnectedTo``
+  noise, so the artifact side is *over*estimated and avoided by the planner;
+* every node carries the universal ``Resource`` label, exactly like YAGO
+  (the paper must use it for the pattern's last node).
+
+The resulting shape matches Table 10: Sub1 < Full < Manual ≪ Baseline, with
+max intermediate cardinality tracking runtime.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.db.database import GraphDatabase
+
+FULL_PATTERN = (
+    "(:wordnet_person)-[:isAffiliatedTo]->(:wordnet_person)"
+    "-[:wasBornIn]->(:port_settlement_in_USA)"
+    "-[:owns]->(:wordnet_artifact)"
+    "-[:isConnectedTo]->(:wordnet_artifact)"
+    "-[:isConnectedTo]->(:Resource)"
+)
+
+FULL_QUERY = (
+    "MATCH (a:wordnet_person)-[w:isAffiliatedTo]->(b:wordnet_person)"
+    "-[v:wasBornIn]->(c:port_settlement_in_USA)"
+    "-[x:owns]->(d:wordnet_artifact)"
+    "-[y:isConnectedTo]->(e:wordnet_artifact)"
+    "-[z:isConnectedTo]->(f:Resource) RETURN *"
+)
+
+SUB_PATTERNS = {
+    # Table 9's three length-3 sub-patterns.
+    "Sub1": (
+        "(:wordnet_person)-[:isAffiliatedTo]->(:wordnet_person)"
+        "-[:wasBornIn]->(:port_settlement_in_USA)-[:owns]->(:wordnet_artifact)"
+    ),
+    "Sub2": (
+        "(:wordnet_person)-[:wasBornIn]->(:port_settlement_in_USA)"
+        "-[:owns]->(:wordnet_artifact)-[:isConnectedTo]->(:wordnet_artifact)"
+    ),
+    "Sub3": (
+        "(:port_settlement_in_USA)-[:owns]->(:wordnet_artifact)"
+        "-[:isConnectedTo]->(:wordnet_artifact)-[:isConnectedTo]->(:Resource)"
+    ),
+}
+
+MANUAL_CHAIN = ("c", ("x", "y", "z", "v", "w"))
+"""The paper's hand-ordered Manual plan: anchor on the settlement scan, walk
+the thin artifact chain, then pull in the person side (§7.3, Figure 10)."""
+
+
+@dataclass
+class YagoConfig:
+    """Scaled structure knobs (paper-scale in comments)."""
+
+    settlements: int = 23  # c-scan 69 in the paper
+    owning_settlements: int = 7  # owns-edges 7 in the paper
+    persons: int = 12_000
+    born_per_owning: int = 2
+    born_per_other: int = 25
+    celebrity_in_affiliations: int = 300
+    hub_artifacts_per_owned: int = 5
+    hub_pool: int = 50
+    targets_per_hub: int = 12
+    core_artifacts: int = 500
+    core_noise_edges: int = 18_000
+    junk_settlements: int = 30
+    junk_owned_per_settlement: int = 300
+    seed: int = 99
+
+
+@dataclass
+class YagoDataset:
+    config: YagoConfig
+    settlements: list[int] = field(default_factory=list)
+    owning: list[int] = field(default_factory=list)
+    owned_artifacts: list[int] = field(default_factory=list)
+    hubs: list[int] = field(default_factory=list)
+    owning_born_rels: list[int] = field(default_factory=list)
+    """The affiliation rels feeding the full pattern (maintenance anchor)."""
+
+    expected_full_cardinality: int = 0
+    expected_sub1_cardinality: int = 0
+    node_count: int = 0
+    relationship_count: int = 0
+
+
+def generate_yago(db: GraphDatabase, config: YagoConfig | None = None) -> YagoDataset:
+    """Populate ``db`` with the YAGO-like dataset (bulk import)."""
+    config = config or YagoConfig()
+    if len(db.indexes) > 0:
+        raise ValueError("generate datasets before creating indexes")
+    rng = random.Random(config.seed)
+    store = db.store
+    resource = db.label("Resource")
+    person = db.label("wordnet_person")
+    settlement = db.label("port_settlement_in_USA")
+    artifact = db.label("wordnet_artifact")
+    affiliated = db.relationship_type("isAffiliatedTo")
+    born_in = db.relationship_type("wasBornIn")
+    owns = db.relationship_type("owns")
+    connected = db.relationship_type("isConnectedTo")
+    data = YagoDataset(config=config)
+
+    data.settlements = [
+        store.create_node([settlement, resource]) for _ in range(config.settlements)
+    ]
+    data.owning = data.settlements[: config.owning_settlements]
+
+    persons = [store.create_node([person, resource]) for _ in range(config.persons)]
+    person_pool = list(persons)
+
+    # Born persons: celebrities come from non-owning settlements only.
+    celebrity_count = 0
+    for index, place in enumerate(data.settlements):
+        is_owning = index < config.owning_settlements
+        count = config.born_per_owning if is_owning else config.born_per_other
+        for _ in range(count):
+            born = person_pool.pop()
+            store.create_relationship(born, place, born_in)
+            if is_owning:
+                fan = rng.choice(persons)
+                while fan == born:
+                    fan = rng.choice(persons)
+                data.owning_born_rels.append(
+                    store.create_relationship(fan, born, affiliated)
+                )
+            else:
+                celebrity_count += 1
+                for _ in range(config.celebrity_in_affiliations):
+                    fan = rng.choice(persons)
+                    while fan == born:
+                        fan = rng.choice(persons)
+                    store.create_relationship(fan, born, affiliated)
+
+    # Artifact side: a thin owned chain plus a dense, unreachable core.
+    data.hubs = [
+        store.create_node([artifact, resource]) for _ in range(config.hub_pool)
+    ]
+    core = [
+        store.create_node([artifact, resource])
+        for _ in range(config.core_artifacts)
+    ]
+    hub_targets: dict[int, list[int]] = {}
+    for hub in data.hubs:
+        hub_targets[hub] = [
+            rng.choice(core) for _ in range(config.targets_per_hub)
+        ]
+        for target in hub_targets[hub]:
+            store.create_relationship(hub, target, connected)
+    for place in data.owning:
+        owned = store.create_node([artifact, resource])
+        data.owned_artifacts.append(owned)
+        store.create_relationship(place, owned, owns)
+        for hub in rng.sample(data.hubs, config.hub_artifacts_per_owned):
+            store.create_relationship(owned, hub, connected)
+
+    # Junk owners: extra settlements owning piles of never-connected
+    # artifacts. They have no born persons, so they add nothing to the
+    # result, but they blow up both the actual and the estimated fan-out of
+    # the owns step — which is what pushes the cost-based baseline onto the
+    # (under-estimated, actually explosive) person side, the paper's bad
+    # baseline plan.
+    for _ in range(config.junk_settlements):
+        junk_place = store.create_node([settlement, resource])
+        data.settlements.append(junk_place)
+        for _ in range(config.junk_owned_per_settlement):
+            junk_artifact = store.create_node([artifact, resource])
+            store.create_relationship(junk_place, junk_artifact, owns)
+
+    # Dense isConnectedTo noise inside the core (never reachable from an
+    # owned artifact in ≤ 2 hops starting at a hub): core targets have no
+    # outgoing noise toward the owned chain, they only link core → core.
+    core_sources = core[: max(1, len(core) // 2)]
+    core_sinks = core[max(1, len(core) // 2) :]
+    for _ in range(config.core_noise_edges):
+        store.create_relationship(
+            rng.choice(core_sources), rng.choice(core_sinks), connected
+        )
+
+    per_owning_chain = config.hub_artifacts_per_owned * config.targets_per_hub
+    data.expected_sub1_cardinality = (
+        config.owning_settlements * config.born_per_owning
+    )
+    data.expected_full_cardinality = (
+        data.expected_sub1_cardinality * per_owning_chain
+    )
+    data.node_count = store.statistics.node_count
+    data.relationship_count = store.statistics.relationship_count
+    return data

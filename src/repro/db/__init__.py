@@ -1,0 +1,6 @@
+"""The public database facade: :class:`GraphDatabase` and :class:`Result`."""
+
+from repro.db.database import GraphDatabase, IndexCreationStats
+from repro.db.result import Result
+
+__all__ = ["GraphDatabase", "IndexCreationStats", "Result"]

@@ -1,0 +1,337 @@
+"""The embedded graph database: the library's main entry point.
+
+Wires together every subsystem of the reproduction — record stores on a
+simulated page cache, transactions with path-index maintenance appliers,
+the Cypher front-end, the cost-based planner with path-index support, and
+the iterator runtime — behind a compact public API:
+
+>>> db = GraphDatabase()
+>>> with db.begin() as tx:
+...     a = tx.create_node([db.label("Person")])
+...     tx.success()
+>>> result = db.execute("MATCH (n:Person) RETURN n")
+>>> rows = result.to_list()
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+from repro.cypher import analyze, parse
+from repro.db.plancache import CachedQuery, PlanCache
+from repro.db.result import Result
+from repro.errors import PathIndexError
+from repro.pathindex.index import PathIndex
+from repro.pathindex.initialization import InitializationStats, initialize_index
+from repro.pathindex.maintenance import QUERY_BASED, PathIndexMaintainer
+from repro.pathindex.pattern import PathPattern
+from repro.pathindex.store import PathIndexStore
+from repro.planner import Planner, PlannerHints
+from repro.querygraph import build_query_parts
+from repro.runtime import Executor
+from repro.storage import GraphStore, PageCache
+from repro.storage.graphstore import DEFAULT_DENSE_NODE_THRESHOLD
+from repro.storage.pagecache import DEFAULT_MISS_LATENCY_S, DEFAULT_PAGE_SIZE
+from repro.tx import Transaction, TransactionManager
+
+IndexCreationStats = InitializationStats
+
+
+@dataclass
+class SizeReport:
+    """Disk footprint, indexes reported separately (§6.3)."""
+
+    graph_bytes: int
+    index_bytes: dict[str, int]
+
+    @property
+    def total_index_bytes(self) -> int:
+        return sum(self.index_bytes.values())
+
+
+class GraphDatabase:
+    """An embedded property-graph database with path indexes."""
+
+    def __init__(
+        self,
+        page_cache_pages: int = 1 << 20,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        miss_latency_s: float = DEFAULT_MISS_LATENCY_S,
+        dense_node_threshold: int = DEFAULT_DENSE_NODE_THRESHOLD,
+        maintenance_strategy: str = QUERY_BASED,
+    ) -> None:
+        self.page_cache = PageCache(page_cache_pages, page_size, miss_latency_s)
+        self.store = GraphStore(self.page_cache, dense_node_threshold)
+        self.indexes = PathIndexStore(self.page_cache)
+        self.tx_manager = TransactionManager(self.store)
+        self.maintainer = PathIndexMaintainer(
+            self.store,
+            self.indexes,
+            tx_manager=self.tx_manager,
+            strategy=maintenance_strategy,
+        )
+        self.tx_manager.register_applier(self.maintainer)
+        # The §4.1.1 query cache. Maintenance queries bypass it by design
+        # (they plan directly via run_pattern_query).
+        self.plan_cache = PlanCache()
+
+    # ------------------------------------------------------------------
+    # Tokens
+    # ------------------------------------------------------------------
+
+    def label(self, name: str) -> int:
+        """Token id for a label, creating it if needed."""
+        return self.store.labels.get_or_create(name)
+
+    def relationship_type(self, name: str) -> int:
+        return self.store.types.get_or_create(name)
+
+    def property_key(self, name: str) -> int:
+        return self.store.property_keys.get_or_create(name)
+
+    # ------------------------------------------------------------------
+    # Transactions and direct write API
+    # ------------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Open a transaction on the calling thread."""
+        return self.tx_manager.begin()
+
+    def create_node(
+        self,
+        labels: Iterable[str] = (),
+        properties: Optional[dict[str, object]] = None,
+    ) -> int:
+        """Create a node in its own transaction (or the open one)."""
+        with self._write_tx() as (tx, own):
+            node_id = tx.create_node([self.label(name) for name in labels])
+            for key, value in (properties or {}).items():
+                tx.set_node_property(node_id, self.property_key(key), value)
+            if own:
+                tx.success()
+        return node_id
+
+    def create_relationship(
+        self,
+        start: int,
+        end: int,
+        type_name: str,
+        properties: Optional[dict[str, object]] = None,
+    ) -> int:
+        with self._write_tx() as (tx, own):
+            rel_id = tx.create_relationship(
+                start, end, self.relationship_type(type_name)
+            )
+            for key, value in (properties or {}).items():
+                tx.set_relationship_property(rel_id, self.property_key(key), value)
+            if own:
+                tx.success()
+        return rel_id
+
+    def delete_relationship(self, rel_id: int) -> None:
+        with self._write_tx() as (tx, own):
+            tx.delete_relationship(rel_id)
+            if own:
+                tx.success()
+
+    def add_label(self, node_id: int, label: str) -> None:
+        with self._write_tx() as (tx, own):
+            tx.add_label(node_id, self.label(label))
+            if own:
+                tx.success()
+
+    def remove_label(self, node_id: int, label: str) -> None:
+        with self._write_tx() as (tx, own):
+            tx.remove_label(node_id, self.label(label))
+            if own:
+                tx.success()
+
+    def _write_tx(self):
+        """Context yielding ``(transaction, owns_it)``."""
+        database = self
+
+        class _Ctx:
+            def __enter__(self):
+                current = database.tx_manager.current()
+                if current is not None:
+                    self.tx, self.own = current, False
+                else:
+                    self.tx, self.own = database.tx_manager.begin(), True
+                return self.tx, self.own
+
+            def __exit__(self, exc_type, exc, tb):
+                if self.own:
+                    if exc_type is not None:
+                        self.tx.failure()
+                    if not self.tx.closed:
+                        self.tx.close()
+
+        return _Ctx()
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self, query_text: str, hints: Optional[PlannerHints] = None
+    ) -> Result:
+        """Parse, plan and run a Cypher query; returns a timed Result.
+
+        Read-only queries stream lazily; update queries apply their writes
+        (committing an implicit transaction unless one is already open) and
+        return materialized rows.
+        """
+        submitted = time.perf_counter()
+        cached = self._planned(query_text, hints)
+        executor = Executor(
+            self.store, self.indexes, cached.analyzed.variable_kinds
+        )
+        if not cached.analyzed.is_write:
+            rows, profile = executor.execute(cached.planned_parts)
+            return Result(rows, cached.columns, profile, submitted)
+        with self._write_tx() as (tx, own):
+            rows, profile = executor.execute(cached.planned_parts, transaction=tx)
+            materialized = list(rows)
+            if own:
+                tx.success()
+        return Result(iter(materialized), cached.columns, profile, submitted)
+
+    def _planned(self, query_text: str, hints: Optional[PlannerHints]) -> CachedQuery:
+        """Plan a query, consulting the §4.1.1 query cache."""
+        key = (query_text, hints)
+        signature = frozenset(self.indexes.names())
+        stats = self.store.statistics
+        entry = self.plan_cache.lookup(
+            key, stats.node_count, stats.relationship_count, signature
+        )
+        if entry is not None:
+            return entry
+        analyzed = analyze(parse(query_text))
+        parts = build_query_parts(analyzed)
+        planner = Planner(self.store, self.indexes)
+        planned = [(part, planner.plan_part(part, hints)) for part in parts]
+        entry = CachedQuery(
+            analyzed=analyzed,
+            planned_parts=planned,
+            columns=self._result_columns(parts),
+            node_count=stats.node_count,
+            relationship_count=stats.relationship_count,
+            index_signature=signature,
+        )
+        self.plan_cache.store(key, entry)
+        return entry
+
+    def explain(
+        self, query_text: str, hints: Optional[PlannerHints] = None
+    ) -> str:
+        """The logical plan for a query, rendered as a tree."""
+        analyzed = analyze(parse(query_text))
+        parts = build_query_parts(analyzed)
+        planner = Planner(self.store, self.indexes)
+        return "\n".join(
+            planner.plan_part(part, hints).render() for part in parts
+        )
+
+    @staticmethod
+    def _result_columns(parts) -> list[str]:
+        if not parts:
+            return []
+        return [item.output_name for item in parts[-1].projection]
+
+    # ------------------------------------------------------------------
+    # Path indexes
+    # ------------------------------------------------------------------
+
+    def create_path_index(
+        self,
+        name: str,
+        pattern: Union[str, PathPattern],
+        populate: bool = True,
+        hints: Optional[PlannerHints] = None,
+        partial: bool = False,
+    ) -> InitializationStats:
+        """Register a path index and (by default) initialize it from the
+        existing data (Algorithm 2).
+
+        ``partial=True`` creates a §4.1 partially materialized index: it
+        starts empty, fills itself per queried seek prefix, and is offered
+        to the planner only through PathIndexPrefixSeek.
+        """
+        if isinstance(pattern, str):
+            pattern = PathPattern.parse(pattern)
+        index = self.indexes.create(name, pattern, partial=partial)
+        if populate and not partial:
+            return initialize_index(self.store, self.indexes, index, hints)
+        return InitializationStats(
+            index_name=name,
+            cardinality=0,
+            size_on_disk=index.size_on_disk(),
+            total_data_size=0,
+            seconds=0.0,
+        )
+
+    def create_relationship_type_index(self, type_name: str) -> InitializationStats:
+        """The §6.1 baseline extension: a label-free single-relationship
+        index enabling RelationshipByTypeScan."""
+        name = f"type:{type_name}"
+        return self.create_path_index(name, f"()-[:{type_name}]->()")
+
+    def drop_path_index(self, name: str) -> None:
+        self.indexes.drop(name)
+
+    def path_index(self, name: str) -> PathIndex:
+        return self.indexes.get(name)
+
+    def verify_index(self, name: str) -> bool:
+        """Cross-check an index against a fresh traversal of its pattern
+        (used by tests and examples; not part of the paper's pipeline)."""
+        from repro.db.patternquery import run_pattern_query
+
+        index = self.indexes.get(name)
+        entries, _ = run_pattern_query(
+            self.store,
+            self.indexes,
+            index.pattern,
+            hints=PlannerHints(use_path_indexes=False),
+        )
+        expected = set(entries)
+        if index.supports_full_scan:
+            return expected == set(index.scan())
+        # A partial index must hold exactly the occurrences of its
+        # materialized start nodes — no more, no less.
+        from repro.pathindex.partial import PartialPathIndex
+
+        assert isinstance(index, PartialPathIndex)
+        covered = {
+            entry for entry in expected if index.is_materialized(entry[0])
+        }
+        return covered == set(index.scan_materialized())
+
+    # ------------------------------------------------------------------
+    # Cache control and sizing (§6.3 methodology)
+    # ------------------------------------------------------------------
+
+    def flush_cache(self) -> None:
+        """Evict every cached page — the paper's database re-open for cold
+        runs ("flush its memory cache without losing the optimized code
+        paths")."""
+        self.page_cache.flush()
+
+    def size_report(self) -> SizeReport:
+        return SizeReport(
+            graph_bytes=self.store.size_on_disk(),
+            index_bytes={
+                index.name: index.size_on_disk() for index in self.indexes
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphDatabase(nodes={self.store.statistics.node_count}, "
+            f"relationships={self.store.statistics.relationship_count}, "
+            f"indexes={len(self.indexes)})"
+        )

@@ -1,0 +1,150 @@
+"""Internal pattern queries: run a :class:`PathPattern` through the pipeline.
+
+Used by index initialization (Algorithm 2: "Query(P, G)") and by query-based
+maintenance (Algorithm 1: "query the index pattern with an additional
+predicate that the modified relationship must be part of the resulting
+paths"). The anchor predicate is expressed by binding the pattern variables
+at the anchored position as *arguments*, so the planner is free to pick any
+strategy — expanding outward from the anchor, or prefix-seeking another
+index — exactly the flexibility the paper's approach gains over De Jong's
+self-maintaining translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.cypher import ast
+from repro.cypher.semantics import VariableKind
+from repro.pathindex.pattern import PathPattern
+from repro.pathindex.store import PathIndexStore
+from repro.planner import Planner, PlannerHints
+from repro.querygraph import QueryGraph, QueryPart
+from repro.runtime import Executor, Row
+from repro.runtime.executor import ExecutionProfile
+from repro.storage.graphstore import GraphStore
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """Bind pattern step ``position`` to a concrete relationship."""
+
+    position: int
+    rel_id: int
+    source_id: int  # node at pattern position `position`
+    target_id: int  # node at pattern position `position + 1`
+
+    def bound_variables(self) -> dict[str, int]:
+        return {
+            node_var(self.position): self.source_id,
+            rel_var(self.position): self.rel_id,
+            node_var(self.position + 1): self.target_id,
+        }
+
+    def bound_rel_ids(self) -> frozenset[int]:
+        return frozenset({self.rel_id})
+
+
+@dataclass(frozen=True)
+class NodeAnchor:
+    """Bind pattern node ``position`` to a concrete node (label updates)."""
+
+    position: int
+    node_id: int
+
+    def bound_variables(self) -> dict[str, int]:
+        return {node_var(self.position): self.node_id}
+
+    def bound_rel_ids(self) -> frozenset[int]:
+        return frozenset()
+
+
+def node_var(position: int) -> str:
+    return f"n{position}"
+
+
+def rel_var(position: int) -> str:
+    return f"r{position}"
+
+
+def entry_variables(pattern: PathPattern) -> list[str]:
+    """Variable names in stored-entry order: n0, r0, n1, ..., nk."""
+    names = [node_var(0)]
+    for position in range(pattern.length):
+        names.append(rel_var(position))
+        names.append(node_var(position + 1))
+    return names
+
+
+def build_pattern_part(
+    pattern: PathPattern, anchor=None
+) -> tuple[QueryPart, dict[str, VariableKind]]:
+    """Construct the query part matching ``pattern`` (anchored or not)."""
+    arguments: frozenset[str] = frozenset()
+    if anchor is not None:
+        arguments = frozenset(anchor.bound_variables())
+    graph = QueryGraph(arguments=arguments)
+    kinds: dict[str, VariableKind] = {}
+    for position, label in enumerate(pattern.labels):
+        labels = [label] if label is not None else []
+        graph.add_node(node_var(position), labels)
+        kinds[node_var(position)] = VariableKind.NODE
+    for position, step in enumerate(pattern.relationships):
+        if step.forward:
+            start, end = node_var(position), node_var(position + 1)
+        else:
+            start, end = node_var(position + 1), node_var(position)
+        types = [step.type] if step.type is not None else []
+        graph.add_relationship(rel_var(position), start, end, types)
+        kinds[rel_var(position)] = VariableKind.RELATIONSHIP
+    projection = [
+        ast.ProjectionItem(ast.Variable(name), alias=name)
+        for name in entry_variables(pattern)
+    ]
+    return QueryPart(query_graph=graph, projection=projection, is_final=True), kinds
+
+
+def run_pattern_query(
+    store: GraphStore,
+    index_store: Optional[PathIndexStore],
+    pattern: PathPattern,
+    anchor=None,
+    hints: Optional[PlannerHints] = None,
+) -> tuple[Iterator[tuple[int, ...]], ExecutionProfile]:
+    """Stream all pattern occurrences as identifier entries."""
+    part, kinds = build_pattern_part(pattern, anchor)
+    planner = Planner(store, index_store)
+    plan = planner.plan_part(part, hints)
+    executor = Executor(store, index_store, kinds)
+    initial = Row.empty()
+    if anchor is not None:
+        initial = Row(dict(anchor.bound_variables()), anchor.bound_rel_ids())
+    rows, profile = executor.execute([(part, plan)], initial_row=initial)
+    names = entry_variables(pattern)
+
+    def entries() -> Iterator[tuple[int, ...]]:
+        for row in rows:
+            yield tuple(int(row.values[name]) for name in names)
+
+    return entries(), profile
+
+
+def anchors_for_relationship(
+    pattern: PathPattern,
+    rel_id: int,
+    type_name: Optional[str],
+    start_id: int,
+    end_id: int,
+    start_labels: frozenset[str],
+    end_labels: frozenset[str],
+) -> list[Anchor]:
+    """All pattern positions where the given relationship could occur."""
+    anchors = []
+    for position in pattern.step_positions_for(type_name, start_labels, end_labels):
+        step = pattern.relationships[position]
+        if step.forward:
+            anchors.append(Anchor(position, rel_id, start_id, end_id))
+        else:
+            anchors.append(Anchor(position, rel_id, end_id, start_id))
+    return anchors

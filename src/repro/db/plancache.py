@@ -1,0 +1,98 @@
+"""The query (plan) cache of the pipeline (§4.1.1).
+
+Neo4j caches executable plans per query string; the paper's maintenance
+queries had to *bypass* it ("otherwise we had no control over which indexes
+would be used in the maintenance queries"). This reproduction does the same:
+:meth:`GraphDatabase.execute` consults the cache, while the anchored pattern
+queries of Algorithm 1 go straight to the planner.
+
+Entries are keyed by (query text, hints) and invalidated when the index set
+changes or the graph statistics drift beyond a threshold — a plan chosen for
+very different cardinalities is likely stale.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+DEFAULT_CAPACITY = 128
+DEFAULT_DRIFT = 0.25
+
+
+@dataclass
+class CachedQuery:
+    """A fully analyzed + planned query ready for execution."""
+
+    analyzed: object  # AnalyzedQuery
+    planned_parts: list  # [(QueryPart, LogicalPlan)]
+    columns: list[str]
+    node_count: int
+    relationship_count: int
+    index_signature: frozenset[str]
+
+
+class PlanCache:
+    """Bounded LRU cache of planned queries with staleness invalidation."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        drift_threshold: float = DEFAULT_DRIFT,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.drift_threshold = drift_threshold
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(
+        self,
+        key,
+        node_count: int,
+        relationship_count: int,
+        index_signature: frozenset[str],
+    ) -> Optional[CachedQuery]:
+        """A fresh cached entry for ``key``, or None (stale entries are
+        evicted on sight)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.index_signature != index_signature or self._drifted(
+            entry, node_count, relationship_count
+        ):
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key, entry: CachedQuery) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _drifted(self, entry: CachedQuery, nodes: int, relationships: int) -> bool:
+        return _drift(entry.node_count, nodes) > self.drift_threshold or _drift(
+            entry.relationship_count, relationships
+        ) > self.drift_threshold
+
+
+def _drift(then: int, now: int) -> float:
+    if then == now:
+        return 0.0
+    return abs(now - then) / max(then, 1)

@@ -1,0 +1,216 @@
+"""Snapshot persistence: save a database to a directory and load it back.
+
+The paper's prototype inherits Neo4j's on-disk stores; this reproduction
+keeps records in memory, so durability comes from explicit snapshots. A
+snapshot directory holds JSON-lines files mirroring the record stores plus
+every path index's pattern and verbatim entry list — restoring is a faithful
+replay (record ids, relationship chains, dense-node groups and index
+contents all come back identical; derived structures are recomputed).
+
+Layout::
+
+    <dir>/metadata.json       versions, counts, configuration
+    <dir>/tokens.json         label / type / property-key registries
+    <dir>/nodes.jsonl         one node record per line
+    <dir>/relationships.jsonl
+    <dir>/properties.jsonl
+    <dir>/groups.jsonl
+    <dir>/indexes.json        [{name, pattern}]
+    <dir>/index_<name>.jsonl  one entry (identifier array) per line
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.db.database import GraphDatabase
+from repro.errors import StorageError
+from repro.pathindex.pattern import PathPattern
+from repro.storage.records import (
+    NodeRecord,
+    PropertyRecord,
+    RelationshipGroupRecord,
+    RelationshipRecord,
+)
+
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+def save_snapshot(db: GraphDatabase, directory: Union[str, Path]) -> Path:
+    """Write a complete snapshot of ``db`` into ``directory``."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    store = db.store
+    metadata = {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "node_count": store.statistics.node_count,
+        "relationship_count": store.statistics.relationship_count,
+        "dense_node_threshold": store.dense_node_threshold,
+        "page_size": db.page_cache.page_size,
+    }
+    (path / "metadata.json").write_text(json.dumps(metadata, indent=2))
+    (path / "tokens.json").write_text(
+        json.dumps(
+            {
+                "labels": store.labels.all_tokens(),
+                "types": store.types.all_tokens(),
+                "property_keys": store.property_keys.all_tokens(),
+            }
+        )
+    )
+    _write_jsonl(
+        path / "nodes.jsonl",
+        (
+            {
+                "id": record.id,
+                "first_rel": record.first_rel,
+                "first_prop": record.first_prop,
+                "labels": sorted(record.labels),
+                "dense": record.dense,
+            }
+            for record in store.nodes.dump_records().values()
+        ),
+    )
+    _write_jsonl(
+        path / "relationships.jsonl",
+        (
+            {
+                "id": r.id,
+                "type_id": r.type_id,
+                "start_node": r.start_node,
+                "end_node": r.end_node,
+                "first_prop": r.first_prop,
+                "start_prev": r.start_prev,
+                "start_next": r.start_next,
+                "end_prev": r.end_prev,
+                "end_next": r.end_next,
+            }
+            for r in store.relationships.dump_records().values()
+        ),
+    )
+    _write_jsonl(
+        path / "properties.jsonl",
+        (
+            {
+                "id": p.id,
+                "key_id": p.key_id,
+                "value": p.value,
+                "prev_prop": p.prev_prop,
+                "next_prop": p.next_prop,
+            }
+            for p in store.properties.dump_records().values()
+        ),
+    )
+    _write_jsonl(
+        path / "groups.jsonl",
+        (
+            {
+                "id": g.id,
+                "owning_node": g.owning_node,
+                "type_id": g.type_id,
+                "next_group": g.next_group,
+                "first_out": g.first_out,
+                "first_in": g.first_in,
+                "first_loop": g.first_loop,
+            }
+            for g in store.groups.dump_records().values()
+        ),
+    )
+    specs = []
+    for index in db.indexes:
+        spec = {"name": index.name, "pattern": str(index.pattern)}
+        if not index.supports_full_scan:
+            spec["partial"] = True
+            spec["materialized_starts"] = index.materialized_starts()
+        specs.append(spec)
+    (path / "indexes.json").write_text(json.dumps(specs))
+    for index in db.indexes:
+        entries = (
+            index.scan() if index.supports_full_scan else index.scan_materialized()
+        )
+        _write_jsonl(
+            path / f"index_{index.name}.jsonl",
+            (list(entry) for entry in entries),
+        )
+    return path
+
+
+def load_snapshot(
+    directory: Union[str, Path],
+    page_cache_pages: int = 1 << 20,
+) -> GraphDatabase:
+    """Reconstruct a :class:`GraphDatabase` from a snapshot directory."""
+    path = Path(directory)
+    metadata = json.loads((path / "metadata.json").read_text())
+    if metadata.get("format_version") != SNAPSHOT_FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported snapshot format {metadata.get('format_version')!r}"
+        )
+    db = GraphDatabase(
+        page_cache_pages=page_cache_pages,
+        page_size=metadata.get("page_size", 8192),
+        dense_node_threshold=metadata.get("dense_node_threshold", 50),
+    )
+    store = db.store
+    tokens = json.loads((path / "tokens.json").read_text())
+    store.labels.restore_tokens(tokens["labels"])
+    store.types.restore_tokens(tokens["types"])
+    store.property_keys.restore_tokens(tokens["property_keys"])
+    store.nodes.restore_records(
+        {
+            row["id"]: NodeRecord(
+                id=row["id"],
+                first_rel=row["first_rel"],
+                first_prop=row["first_prop"],
+                labels=frozenset(row["labels"]),
+                dense=row["dense"],
+            )
+            for row in _read_jsonl(path / "nodes.jsonl")
+        }
+    )
+    store.relationships.restore_records(
+        {
+            row["id"]: RelationshipRecord(**row)
+            for row in _read_jsonl(path / "relationships.jsonl")
+        }
+    )
+    store.properties.restore_records(
+        {
+            row["id"]: PropertyRecord(**row)
+            for row in _read_jsonl(path / "properties.jsonl")
+        }
+    )
+    store.groups.restore_records(
+        {
+            row["id"]: RelationshipGroupRecord(**row)
+            for row in _read_jsonl(path / "groups.jsonl")
+        }
+    )
+    store.rebuild_derived_state()
+    for spec in json.loads((path / "indexes.json").read_text()):
+        partial = bool(spec.get("partial"))
+        index = db.indexes.create(
+            spec["name"], PathPattern.parse(spec["pattern"]), partial=partial
+        )
+        if partial:
+            index.restore_materialized_starts(spec.get("materialized_starts", []))
+        for entry in _read_jsonl(path / f"index_{spec['name']}.jsonl"):
+            index.add(tuple(entry))
+    return db
+
+
+def _write_jsonl(path: Path, rows) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row))
+            handle.write("\n")
+
+
+def _read_jsonl(path: Path):
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the pathindex-repro database engine.
+
+Every error raised by the public API derives from :class:`ReproError`, so
+callers can catch one type. Subsystems raise the most specific subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """A record store or the page cache was used incorrectly."""
+
+
+class RecordNotFoundError(StorageError):
+    """A node or relationship id does not exist (or was deleted)."""
+
+
+class ConstraintViolationError(ReproError):
+    """A graph invariant would be broken (e.g. deleting a connected node)."""
+
+
+class TransactionError(ReproError):
+    """Transaction lifecycle misuse (no active transaction, double close, ...)."""
+
+
+class CypherSyntaxError(ReproError):
+    """The query text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class CypherSemanticError(ReproError):
+    """The query parsed but is semantically invalid (unknown variable, ...)."""
+
+
+class PlannerError(ReproError):
+    """The planner could not produce a plan (or a forced hint is unsatisfiable)."""
+
+
+class PathIndexError(ReproError):
+    """Path index misuse: bad pattern, duplicate index, unknown index, ..."""
+
+
+class PatternSyntaxError(PathIndexError):
+    """A path pattern string could not be parsed."""

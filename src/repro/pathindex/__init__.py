@@ -1,0 +1,21 @@
+"""Path indexes: the paper's core contribution.
+
+A path index stores every occurrence of a fixed *path pattern* — a chain of
+label-constrained nodes joined by type-constrained, direction-aware
+relationships — as a sorted list of identifiers in its own B+-tree (§2.3.1).
+This package provides:
+
+* :class:`PathPattern` — the pattern model with parsing, sub-pattern
+  enumeration and reversal;
+* :class:`PathIndex` — one pattern's B+-tree with sizing and statistics;
+* :class:`PathIndexStore` — the registry the planner and maintenance consult;
+* :func:`initialize_index` — Algorithm 2 (query the pattern, bulk-add);
+* :class:`QueryBasedMaintenance` — Algorithm 1 (query-based translation of
+  graph updates into index updates) with a traversal-based fallback.
+"""
+
+from repro.pathindex.pattern import PathPattern, PatternRelationship
+from repro.pathindex.index import PathIndex
+from repro.pathindex.store import PathIndexStore
+
+__all__ = ["PathIndex", "PathIndexStore", "PathPattern", "PatternRelationship"]

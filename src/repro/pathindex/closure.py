@@ -1,0 +1,121 @@
+"""PathIndexClosure — the §5.1.4 operator, implemented as a library API.
+
+The paper wanted an operator producing the Kleene-star closure of an indexed
+pattern but dropped it because Cypher cannot express a closure over an
+arbitrary pattern expression. Nothing stops a *library* API from offering
+it: each index entry ``(n0, ..., nk)`` is treated as a macro-edge
+``n0 → nk``, and the closure is computed by breadth-first expansion where
+each step is a **prefix seek** on the index — exactly the access path the
+operator was designed around.
+
+The default semantics are Cypher-like: a node may not repeat within one
+closure path (simple paths), so the traversal terminates even on cyclic
+pattern graphs; pass ``simple_paths=False`` for reachability semantics
+(visited-set pruning, each endpoint reported once at its minimum depth).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.pathindex.index import PathIndex
+
+
+@dataclass(frozen=True)
+class ClosureStep:
+    """One closure result: ``end`` reachable from ``start`` in ``depth``
+    applications of the indexed pattern."""
+
+    start: int
+    end: int
+    depth: int
+
+
+def closure(
+    index: PathIndex,
+    start_nodes: Optional[Iterable[int]] = None,
+    min_depth: int = 1,
+    max_depth: Optional[int] = None,
+    simple_paths: bool = True,
+) -> Iterator[ClosureStep]:
+    """Enumerate the Kleene closure of ``index``'s pattern.
+
+    ``start_nodes`` defaults to every node occurring at the pattern's first
+    position. ``min_depth``/``max_depth`` bound the number of pattern
+    applications (``min_depth=0`` also yields each start node itself).
+    """
+    if min_depth < 0:
+        raise ValueError("min_depth must be non-negative")
+    if max_depth is not None and max_depth < min_depth:
+        raise ValueError("max_depth must be >= min_depth")
+    if start_nodes is None:
+        starts = _first_position_nodes(index)
+    else:
+        starts = list(dict.fromkeys(start_nodes))
+    for start in starts:
+        if min_depth == 0:
+            yield ClosureStep(start, start, 0)
+        if simple_paths:
+            yield from _simple_closure(index, start, min_depth, max_depth)
+        else:
+            yield from _reachability_closure(index, start, min_depth, max_depth)
+
+
+def reachable_from(
+    index: PathIndex, node: int, max_depth: Optional[int] = None
+) -> set[int]:
+    """All nodes reachable from ``node`` via ≥1 pattern applications."""
+    return {
+        step.end
+        for step in closure(
+            index, [node], max_depth=max_depth, simple_paths=False
+        )
+    }
+
+
+def _first_position_nodes(index: PathIndex) -> list[int]:
+    nodes: dict[int, None] = {}
+    for entry in index.scan():
+        nodes.setdefault(entry[0], None)
+    return list(nodes)
+
+
+def _pattern_successors(index: PathIndex, node: int) -> Iterator[int]:
+    seen: set[int] = set()
+    for entry in index.scan_prefix((node,)):
+        end = entry[-1]
+        if end not in seen:
+            seen.add(end)
+            yield end
+
+
+def _simple_closure(index, start, min_depth, max_depth):
+    stack = [(start, 1, {start})]
+    while stack:
+        node, depth, on_path = stack.pop()
+        if max_depth is not None and depth > max_depth:
+            continue
+        for successor in _pattern_successors(index, node):
+            if successor in on_path:
+                continue
+            if depth >= min_depth:
+                yield ClosureStep(start, successor, depth)
+            stack.append((successor, depth + 1, on_path | {successor}))
+
+
+def _reachability_closure(index, start, min_depth, max_depth):
+    visited = {start}
+    frontier = deque([(start, 0)])
+    while frontier:
+        node, depth = frontier.popleft()
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for successor in _pattern_successors(index, node):
+            if successor in visited:
+                continue
+            visited.add(successor)
+            if depth + 1 >= min_depth:
+                yield ClosureStep(start, successor, depth + 1)
+            frontier.append((successor, depth + 1))

@@ -1,0 +1,98 @@
+"""A single path index: one pattern, one B+-tree (§2.3.1).
+
+Entries are identifier tuples ``(n0, r0, n1, ..., nk)`` in pattern order.
+The index never stores pattern information — each pattern has its own tree —
+so the only data are the identifiers, exactly as in Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.bptree import BPlusTree
+from repro.errors import PathIndexError
+from repro.pathindex.pattern import PathPattern
+from repro.storage.pagecache import PageCache
+
+
+class PathIndex:
+    """B+-tree-backed index over one path pattern."""
+
+    supports_full_scan = True
+    """Fully materialized indexes serve PathIndexScan; partial ones do not."""
+
+    def __init__(
+        self,
+        name: str,
+        pattern: PathPattern,
+        page_cache: Optional[PageCache] = None,
+    ) -> None:
+        self.name = name
+        self.pattern = pattern
+        self.tree = BPlusTree(
+            key_width=pattern.key_width,
+            page_cache=page_cache,
+            file_name=f"pathindex.{name}.db",
+        )
+
+    # ------------------------------------------------------------------
+    # Entry operations
+    # ------------------------------------------------------------------
+
+    def add(self, entry: Sequence[int]) -> bool:
+        """Insert one path occurrence; returns False if already present."""
+        return self.tree.insert(self._validated(entry))
+
+    def remove(self, entry: Sequence[int]) -> bool:
+        """Remove one path occurrence; returns False if absent."""
+        return self.tree.delete(self._validated(entry))
+
+    def __contains__(self, entry: Sequence[int]) -> bool:
+        return tuple(entry) in self.tree
+
+    # ------------------------------------------------------------------
+    # Scans (the three access paths of §5.1)
+    # ------------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple[int, ...]]:
+        return self.tree.scan()
+
+    def scan_prefix(self, prefix: Sequence[int]) -> Iterator[tuple[int, ...]]:
+        return self.tree.scan_prefix(prefix)
+
+    def prepare_prefix(self, prefix: Sequence[int], store) -> None:
+        """Hook invoked before a prefix seek; partial indexes materialize the
+        bound start node here. Fully materialized indexes need nothing."""
+
+    def scan_from(self, lower: Sequence[int]) -> Iterator[tuple[int, ...]]:
+        return self.tree.scan_from(lower)
+
+    def count_prefix(self, prefix: Sequence[int]) -> int:
+        return self.tree.count_prefix(prefix)
+
+    # ------------------------------------------------------------------
+    # Statistics (Table 2/6/9/12 columns)
+    # ------------------------------------------------------------------
+
+    @property
+    def cardinality(self) -> int:
+        """Number of indexed path occurrences."""
+        return len(self.tree)
+
+    def size_on_disk(self) -> int:
+        return self.tree.size_on_disk()
+
+    def total_data_size(self) -> int:
+        return self.tree.total_data_size()
+
+    def _validated(self, entry: Sequence[int]) -> tuple[int, ...]:
+        entry_tuple = tuple(entry)
+        if len(entry_tuple) != self.pattern.key_width:
+            raise PathIndexError(
+                f"index {self.name!r} expects {self.pattern.key_width} "
+                f"identifiers, got {len(entry_tuple)}"
+            )
+        return entry_tuple
+
+    def __repr__(self) -> str:
+        return f"PathIndex({self.name!r}, {self.pattern}, n={self.cardinality})"

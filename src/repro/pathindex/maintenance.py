@@ -1,0 +1,327 @@
+"""Query-based path index maintenance — Algorithm 1 of the paper.
+
+The maintainer is a transaction applier. Per committing transaction:
+
+* **removal phase** (``before_destructive``, store unchanged): for every
+  relationship deletion and label removal, the affected indexes are found
+  (sorted by pattern length ascending, Algorithm 1 lines 4–5) and an
+  *anchored* pattern query computes all indexed paths through the update; the
+  collected entries are then removed from their indexes. We compute every
+  removal set before touching any index so that maintenance plans may freely
+  use other indexes — a snapshot variant of the paper's small-to-large
+  ordering that is correct regardless of the chosen plan.
+* **addition phase** (``after_apply``, store fully updated): additions are
+  processed index by index, smallest pattern first; each anchored query runs
+  with the current index *and every not-yet-updated index* forbidden
+  (Algorithm 1, line 17: "Query(P but avoid using index, G)"), so plans only
+  consult indexes that are already consistent.
+
+A traversal-based fallback (De Jong's translation 1) is available as an
+alternative strategy and for differential testing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.db.patternquery import (
+    Anchor,
+    NodeAnchor,
+    anchors_for_relationship,
+    run_pattern_query,
+)
+from repro.pathindex.index import PathIndex
+from repro.pathindex.pattern import PathPattern
+from repro.pathindex.store import PathIndexStore
+from repro.planner import PlannerHints
+from repro.storage.graphstore import Direction, GraphStore
+from repro.tx.appliers import TransactionApplier
+from repro.tx.state import TransactionState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tx.manager import TransactionManager
+
+QUERY_BASED = "query"
+TRAVERSAL_BASED = "traversal"
+
+
+class PathIndexMaintainer(TransactionApplier):
+    """Keeps every registered path index consistent across commits."""
+
+    def __init__(
+        self,
+        store: GraphStore,
+        index_store: PathIndexStore,
+        tx_manager: Optional["TransactionManager"] = None,
+        strategy: str = QUERY_BASED,
+        hints: Optional[PlannerHints] = None,
+    ) -> None:
+        if strategy not in (QUERY_BASED, TRAVERSAL_BASED):
+            raise ValueError(f"unknown maintenance strategy {strategy!r}")
+        self.store = store
+        self.index_store = index_store
+        self.tx_manager = tx_manager
+        self.strategy = strategy
+        self.hints = hints or PlannerHints()
+        self.last_report: dict[str, float] = {}
+        self.last_entry_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Applier phases
+    # ------------------------------------------------------------------
+
+    def before_destructive(self, state: TransactionState, store: GraphStore) -> None:
+        self.last_report = {}
+        self.last_entry_counts = {}
+        if len(self.index_store) == 0:
+            return
+        removals: list[tuple[PathIndex, tuple[int, ...]]] = []
+        for pending in state.deleted_relationships:
+            type_name = self.store.types.name_of(pending.type_id)
+            start_labels = self._label_names(pending.start_node)
+            end_labels = self._label_names(pending.end_node)
+            affected = self.index_store.affected_by_relationship(
+                type_name, start_labels, end_labels
+            )
+            for index in affected:
+                anchors = anchors_for_relationship(
+                    index.pattern,
+                    pending.rel_id,
+                    type_name,
+                    pending.start_node,
+                    pending.end_node,
+                    start_labels,
+                    end_labels,
+                )
+                for anchor in anchors:
+                    for entry in self._timed_entries(index, anchor):
+                        removals.append((index, entry))
+        for pending in state.removed_labels:
+            label = self.store.labels.name_of(pending.label_id)
+            for index in self.index_store.affected_by_label(label):
+                for position, pattern_label in enumerate(index.pattern.labels):
+                    if pattern_label != label:
+                        continue
+                    anchor = NodeAnchor(position, pending.node_id)
+                    for entry in self._timed_entries(index, anchor):
+                        removals.append((index, entry))
+        for index, entry in removals:
+            started = time.perf_counter()
+            if index.remove(entry):
+                self.last_entry_counts[index.name] = (
+                    self.last_entry_counts.get(index.name, 0) + 1
+                )
+            self._charge(index.name, time.perf_counter() - started)
+
+    def after_apply(self, state: TransactionState, store: GraphStore) -> None:
+        if len(self.index_store) == 0:
+            return
+        additions = self._collect_additions(state)
+        if not additions:
+            return
+        # Global small-to-large order over every index affected by any
+        # addition; queries may only use indexes updated earlier in the order.
+        affected_names: list[str] = []
+        for index, _ in additions:
+            if index.name not in affected_names:
+                affected_names.append(index.name)
+        affected_names.sort(
+            key=lambda name: (
+                self.index_store.get(name).pattern.length,
+                name,
+            )
+        )
+        for position, name in enumerate(affected_names):
+            index = self.index_store.get(name)
+            not_yet_updated = affected_names[position:]
+            hints = self.hints.forbidding(*not_yet_updated)
+            for anchor_index, anchor in additions:
+                if anchor_index.name != name:
+                    continue
+                for entry in self._timed_entries(index, anchor, hints):
+                    started = time.perf_counter()
+                    if index.add(entry):
+                        self.last_entry_counts[index.name] = (
+                            self.last_entry_counts.get(index.name, 0) + 1
+                        )
+                    self._charge(index.name, time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # Collection helpers
+    # ------------------------------------------------------------------
+
+    def _collect_additions(self, state: TransactionState):
+        additions: list[tuple[PathIndex, object]] = []
+        for rel_id in state.created_relationships:
+            if not self.store.relationship_exists(rel_id):
+                continue  # created and deleted within the same transaction
+            record = self.store.relationship(rel_id)
+            type_name = self.store.types.name_of(record.type_id)
+            start_labels = self._label_names(record.start_node)
+            end_labels = self._label_names(record.end_node)
+            for index in self.index_store.affected_by_relationship(
+                type_name, start_labels, end_labels
+            ):
+                for anchor in anchors_for_relationship(
+                    index.pattern,
+                    rel_id,
+                    type_name,
+                    record.start_node,
+                    record.end_node,
+                    start_labels,
+                    end_labels,
+                ):
+                    additions.append((index, anchor))
+        for node_id, label_id in state.added_labels:
+            if not self.store.node_exists(node_id):
+                continue
+            if label_id not in self.store.node_labels(node_id):
+                continue  # label re-removed within the same transaction
+            label = self.store.labels.name_of(label_id)
+            for index in self.index_store.affected_by_label(label):
+                for position, pattern_label in enumerate(index.pattern.labels):
+                    if pattern_label == label:
+                        additions.append((index, NodeAnchor(position, node_id)))
+        return additions
+
+    def _label_names(self, node_id: int) -> frozenset[str]:
+        return frozenset(
+            self.store.labels.name_of(label_id)
+            for label_id in self.store.node_labels(node_id)
+        )
+
+    # ------------------------------------------------------------------
+    # Entry computation per strategy
+    # ------------------------------------------------------------------
+
+    def _timed_entries(
+        self,
+        index: PathIndex,
+        anchor,
+        hints: Optional[PlannerHints] = None,
+    ) -> list[tuple[int, ...]]:
+        started = time.perf_counter()
+        entries = list(self._entries(index.pattern, anchor, hints))
+        self._charge(index.name, time.perf_counter() - started)
+        return entries
+
+    def _entries(
+        self,
+        pattern: PathPattern,
+        anchor,
+        hints: Optional[PlannerHints],
+    ) -> Iterator[tuple[int, ...]]:
+        if self.strategy == TRAVERSAL_BASED:
+            yield from traverse_pattern(self.store, pattern, anchor)
+            return
+        effective = hints if hints is not None else self.hints
+        if self.tx_manager is not None:
+            # The paper's work-around: detach the committing transaction's
+            # state while the maintenance query runs (Algorithm 1, lines 6–7).
+            with self.tx_manager.suspended():
+                entries, _ = run_pattern_query(
+                    self.store, self.index_store, pattern, anchor, effective
+                )
+                yield from entries
+        else:
+            entries, _ = run_pattern_query(
+                self.store, self.index_store, pattern, anchor, effective
+            )
+            yield from entries
+
+    def _charge(self, index_name: str, seconds: float) -> None:
+        self.last_report[index_name] = self.last_report.get(index_name, 0.0) + seconds
+
+
+# ---------------------------------------------------------------------------
+# Traversal-based translation (De Jong's method 1) — the always-available
+# fallback the paper's conclusion mentions.
+# ---------------------------------------------------------------------------
+
+
+def traverse_pattern(
+    store: GraphStore, pattern: PathPattern, anchor
+) -> Iterator[tuple[int, ...]]:
+    """Enumerate pattern occurrences through ``anchor`` by graph traversal."""
+    if isinstance(anchor, Anchor):
+        left = anchor.position
+        right = anchor.position + 1
+        node_ids = [anchor.source_id, anchor.target_id]
+        rel_ids = [anchor.rel_id]
+        if not _node_matches(store, pattern, left, anchor.source_id):
+            return
+        if not _node_matches(store, pattern, right, anchor.target_id):
+            return
+    elif isinstance(anchor, NodeAnchor):
+        left = right = anchor.position
+        node_ids = [anchor.node_id]
+        rel_ids = []
+        if not _node_matches(store, pattern, left, anchor.node_id):
+            return
+    else:
+        raise TypeError(f"unsupported anchor {anchor!r}")
+    yield from _extend(store, pattern, left, right, node_ids, rel_ids)
+
+
+def _extend(store, pattern, left, right, node_ids, rel_ids):
+    if left > 0:
+        step = pattern.relationships[left - 1]
+        # Walking leftwards: a forward step arrives at node_ids[0].
+        direction = Direction.INCOMING if step.forward else Direction.OUTGOING
+        type_id = _type_id(store, step.type)
+        if step.type is not None and type_id is None:
+            return
+        for rel in store.relationships_of(node_ids[0], direction, type_id):
+            if rel.id in rel_ids:
+                continue
+            neighbour = rel.other_node(node_ids[0])
+            if not _node_matches(store, pattern, left - 1, neighbour):
+                continue
+            yield from _extend(
+                store,
+                pattern,
+                left - 1,
+                right,
+                [neighbour] + node_ids,
+                [rel.id] + rel_ids,
+            )
+        return
+    if right < pattern.length:
+        step = pattern.relationships[right]
+        direction = Direction.OUTGOING if step.forward else Direction.INCOMING
+        type_id = _type_id(store, step.type)
+        if step.type is not None and type_id is None:
+            return
+        for rel in store.relationships_of(node_ids[-1], direction, type_id):
+            if rel.id in rel_ids:
+                continue
+            neighbour = rel.other_node(node_ids[-1])
+            if not _node_matches(store, pattern, right + 1, neighbour):
+                continue
+            yield from _extend(
+                store,
+                pattern,
+                left,
+                right + 1,
+                node_ids + [neighbour],
+                rel_ids + [rel.id],
+            )
+        return
+    entry: list[int] = [node_ids[0]]
+    for position, rel_id in enumerate(rel_ids):
+        entry.append(rel_id)
+        entry.append(node_ids[position + 1])
+    yield tuple(entry)
+
+
+def _node_matches(store, pattern, position, node_id) -> bool:
+    label = pattern.labels[position]
+    if label is None:
+        return True
+    label_id = store.labels.id_of(label)
+    return label_id is not None and store.has_label(node_id, label_id)
+
+
+def _type_id(store, type_name):
+    return store.types.id_of(type_name) if type_name is not None else None

@@ -1,0 +1,222 @@
+"""Path pattern model: what a path index indexes.
+
+A pattern is an alternating chain of ``k + 1`` node constraints and ``k``
+relationship constraints, e.g. ``(:A)-[:X]->(:A)-[:Y]->(:B)``. Node
+constraints are a single optional label; relationship constraints are a
+single optional type plus an arrow direction (patterns may mix directions,
+as the GeoSpecies index ``(a)-[x]->(b)<-[y]-(c)-[z]->(d)`` does).
+
+An *occurrence* of a length-``k`` pattern is the identifier list
+``(n0, r0, n1, r1, ..., nk)`` — ``2k + 1`` identifiers — which is exactly the
+B+-tree key (§2.3.1, Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import PatternSyntaxError
+
+
+@dataclass(frozen=True)
+class PatternRelationship:
+    """One step of a pattern: optional type constraint plus direction.
+
+    ``forward`` is True for ``-[:T]->`` (the arrow follows the pattern's
+    reading order) and False for ``<-[:T]-``.
+    """
+
+    type: Optional[str]
+    forward: bool = True
+
+    def reversed(self) -> "PatternRelationship":
+        return PatternRelationship(self.type, not self.forward)
+
+    def __str__(self) -> str:
+        body = f"[:{self.type}]" if self.type else "[]"
+        return f"-{body}->" if self.forward else f"<-{body}-"
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """An immutable path pattern: ``len(labels) == len(relationships) + 1``."""
+
+    labels: tuple[Optional[str], ...]
+    relationships: tuple[PatternRelationship, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != len(self.relationships) + 1:
+            raise PatternSyntaxError(
+                f"pattern needs {len(self.relationships) + 1} node constraints, "
+                f"got {len(self.labels)}"
+            )
+        if not self.relationships:
+            raise PatternSyntaxError("pattern must contain at least one relationship")
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Number of relationships, the pattern length ``k``."""
+        return len(self.relationships)
+
+    @property
+    def key_width(self) -> int:
+        """Identifiers per index entry: ``2k + 1`` (§2.3.1)."""
+        return 2 * self.length + 1
+
+    # ------------------------------------------------------------------
+    # Parsing and formatting
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "PathPattern":
+        """Parse ``(:A)-[:X]->(:B)<-[:Y]-(:C)`` style pattern strings.
+
+        Variables inside parentheses/brackets are allowed and ignored
+        (``(a:A)-[w:X]->(b)``); labels and types are optional.
+        """
+        return _parse_pattern(text)
+
+    def __str__(self) -> str:
+        parts = [_format_node(self.labels[0])]
+        for step, label in zip(self.relationships, self.labels[1:]):
+            parts.append(str(step))
+            parts.append(_format_node(label))
+        return "".join(parts)
+
+    # ------------------------------------------------------------------
+    # Derived patterns
+    # ------------------------------------------------------------------
+
+    def reversed(self) -> "PathPattern":
+        """The same chain read right-to-left (used for reverse prefix scans)."""
+        return PathPattern(
+            labels=tuple(reversed(self.labels)),
+            relationships=tuple(
+                step.reversed() for step in reversed(self.relationships)
+            ),
+        )
+
+    def sub_pattern(self, start: int, length: int) -> "PathPattern":
+        """The contiguous sub-pattern covering steps ``start .. start+length``."""
+        if length < 1 or start < 0 or start + length > self.length:
+            raise PatternSyntaxError(
+                f"sub-pattern [{start}, {start + length}) out of range for "
+                f"length {self.length}"
+            )
+        return PathPattern(
+            labels=self.labels[start : start + length + 1],
+            relationships=self.relationships[start : start + length],
+        )
+
+    def sub_patterns(self) -> Iterator["PathPattern"]:
+        """All proper contiguous sub-patterns, longest first (De Jong's
+        sub-pattern family, used in the Sub1..SubN experiments)."""
+        for length in range(self.length - 1, 0, -1):
+            for start in range(0, self.length - length + 1):
+                yield self.sub_pattern(start, length)
+
+    def contains_step(
+        self,
+        type_name: Optional[str],
+        start_labels: frozenset[str],
+        end_labels: frozenset[str],
+    ) -> bool:
+        """Could a relationship with this type/endpoint-labels occur in the
+        pattern? Used to select the indexes affected by an update
+        (Algorithm 1, line 4)."""
+        for position, step in enumerate(self.relationships):
+            if step.type is not None and step.type != type_name:
+                continue
+            if step.forward:
+                source_label = self.labels[position]
+                target_label = self.labels[position + 1]
+            else:
+                source_label = self.labels[position + 1]
+                target_label = self.labels[position]
+            if source_label is not None and source_label not in start_labels:
+                continue
+            if target_label is not None and target_label not in end_labels:
+                continue
+            return True
+        return False
+
+    def step_positions_for(
+        self,
+        type_name: Optional[str],
+        start_labels: frozenset[str],
+        end_labels: frozenset[str],
+    ) -> list[int]:
+        """Positions at which the given relationship could appear."""
+        positions = []
+        for position, step in enumerate(self.relationships):
+            if step.type is not None and step.type != type_name:
+                continue
+            if step.forward:
+                source_label = self.labels[position]
+                target_label = self.labels[position + 1]
+            else:
+                source_label = self.labels[position + 1]
+                target_label = self.labels[position]
+            if source_label is not None and source_label not in start_labels:
+                continue
+            if target_label is not None and target_label not in end_labels:
+                continue
+            positions.append(position)
+        return positions
+
+    def mentions_label(self, label: str) -> bool:
+        return label in self.labels
+
+
+def _format_node(label: Optional[str]) -> str:
+    return f"(:{label})" if label else "()"
+
+
+# ---------------------------------------------------------------------------
+# Pattern string parsing (reuses the Cypher front-end)
+# ---------------------------------------------------------------------------
+
+
+def _parse_pattern(text: str) -> PathPattern:
+    from repro.cypher import ast as cypher_ast
+    from repro.cypher.parser import parse as cypher_parse
+    from repro.errors import CypherSyntaxError
+
+    try:
+        query = cypher_parse(f"MATCH {text.strip()} RETURN x")
+    except CypherSyntaxError as exc:
+        raise PatternSyntaxError(f"bad pattern {text!r}: {exc}") from exc
+    match = query.clauses[0]
+    assert isinstance(match, cypher_ast.MatchClause)
+    if len(match.patterns) != 1:
+        raise PatternSyntaxError("pattern must be a single path")
+    path = match.patterns[0]
+    labels: list[Optional[str]] = []
+    steps: list[PatternRelationship] = []
+    for element in path.elements:
+        if isinstance(element, cypher_ast.NodePatternAst):
+            if len(element.labels) > 1:
+                raise PatternSyntaxError(
+                    "pattern nodes take at most one label (paper §2.3)"
+                )
+            labels.append(element.labels[0] if element.labels else None)
+        else:
+            if element.direction is cypher_ast.RelDirection.UNDIRECTED:
+                raise PatternSyntaxError("pattern relationships must be directed")
+            if len(element.types) > 1:
+                raise PatternSyntaxError(
+                    "pattern relationships take at most one type"
+                )
+            steps.append(
+                PatternRelationship(
+                    type=element.types[0] if element.types else None,
+                    forward=element.direction
+                    is cypher_ast.RelDirection.LEFT_TO_RIGHT,
+                )
+            )
+    return PathPattern(labels=tuple(labels), relationships=tuple(steps))

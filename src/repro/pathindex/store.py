@@ -1,0 +1,129 @@
+"""The path index store: registry of all path indexes of one database.
+
+The planner asks it for patterns to match, the maintenance applier for the
+indexes affected by an update (Algorithm 1, line 4, sorted by pattern length),
+and the §6.1 baseline extension for its single-relationship type indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import PathIndexError
+from repro.pathindex.index import PathIndex
+from repro.pathindex.pattern import PathPattern
+from repro.storage.pagecache import PageCache
+
+
+class PathIndexStore:
+    """Name → :class:`PathIndex` registry."""
+
+    def __init__(self, page_cache: Optional[PageCache] = None) -> None:
+        self._page_cache = page_cache
+        self._indexes: dict[str, PathIndex] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def create(
+        self, name: str, pattern: PathPattern, partial: bool = False
+    ) -> PathIndex:
+        """Register a new, empty index (initialization is separate).
+
+        ``partial=True`` creates a §4.1 partially materialized index that
+        fills itself lazily per seek prefix and never serves full scans.
+        """
+        if name in self._indexes:
+            raise PathIndexError(f"path index {name!r} already exists")
+        if partial:
+            from repro.pathindex.partial import PartialPathIndex
+
+            index: PathIndex = PartialPathIndex(name, pattern, self._page_cache)
+        else:
+            index = PathIndex(name, pattern, self._page_cache)
+        self._indexes[name] = index
+        return index
+
+    def drop(self, name: str) -> None:
+        if name not in self._indexes:
+            raise PathIndexError(f"no path index {name!r}")
+        del self._indexes[name]
+
+    def get(self, name: str) -> PathIndex:
+        index = self._indexes.get(name)
+        if index is None:
+            raise PathIndexError(f"no path index {name!r}")
+        return index
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._indexes
+
+    def __iter__(self) -> Iterator[PathIndex]:
+        return iter(self._indexes.values())
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def names(self) -> list[str]:
+        return list(self._indexes)
+
+    # ------------------------------------------------------------------
+    # Lookup used by the planner
+    # ------------------------------------------------------------------
+
+    def patterns(self) -> dict[str, PathPattern]:
+        """Pattern of every registered index (the matcher's input)."""
+        return {name: index.pattern for name, index in self._indexes.items()}
+
+    def type_scan_index(self, type_name: str) -> Optional[PathIndex]:
+        """The §6.1 baseline extension: a length-1, label-free, forward index
+        on exactly ``type_name``, if one is registered."""
+        for index in self._indexes.values():
+            pattern = index.pattern
+            if (
+                index.supports_full_scan
+                and pattern.length == 1
+                and pattern.labels == (None, None)
+                and pattern.relationships[0].forward
+                and pattern.relationships[0].type == type_name
+            ):
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # Lookup used by maintenance (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def affected_by_relationship(
+        self,
+        type_name: Optional[str],
+        start_labels: frozenset[str],
+        end_labels: frozenset[str],
+    ) -> list[PathIndex]:
+        """Indexes whose patterns could contain such a relationship, sorted by
+        pattern length ascending (Algorithm 1, lines 4–5)."""
+        hits = [
+            index
+            for index in self._indexes.values()
+            if index.pattern.contains_step(type_name, start_labels, end_labels)
+        ]
+        hits.sort(key=lambda index: (index.pattern.length, index.name))
+        return hits
+
+    def affected_by_label(self, label: str) -> list[PathIndex]:
+        """Indexes whose patterns mention ``label``, sorted by length."""
+        hits = [
+            index
+            for index in self._indexes.values()
+            if index.pattern.mentions_label(label)
+        ]
+        hits.sort(key=lambda index: (index.pattern.length, index.name))
+        return hits
+
+    # ------------------------------------------------------------------
+    # Sizing (indexes are "measured and reported separately", §6.3)
+    # ------------------------------------------------------------------
+
+    def size_on_disk(self) -> int:
+        return sum(index.size_on_disk() for index in self._indexes.values())

@@ -1,0 +1,25 @@
+"""Cost-based query planner (§2.2 and §5 of the paper).
+
+Planning proceeds per query part: leaf plans are generated for every pattern
+relationship (§2.2.1), an iterative-dynamic-programming solver combines them
+with ExpandAll/ExpandInto/NodeHashJoin solver steps (§2.2.2), and — with path
+indexes registered — two extra planners contribute PathIndexScan /
+PathIndexFilteredScan leaf plans and the PathIndexPrefixSeek solver step
+(§5.1). Costs follow the paper's heuristics; cardinalities come from an
+independence-assumption estimator whose mispredictions on correlated data are
+a central observation of the evaluation.
+"""
+
+from repro.planner.plans import LogicalPlan
+from repro.planner.hints import PlannerHints
+from repro.planner.cardinality import CardinalityEstimator
+from repro.planner.cost import CostModel
+from repro.planner.planner import Planner
+
+__all__ = [
+    "CardinalityEstimator",
+    "CostModel",
+    "LogicalPlan",
+    "Planner",
+    "PlannerHints",
+]

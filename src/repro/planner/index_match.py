@@ -1,0 +1,161 @@
+"""Matching registered path-index patterns against a query graph.
+
+A match maps every stored entry position of an index to a query variable such
+that using the index can never lose query results: every index constraint
+must be *implied* by the query (index label present on the query node, index
+type equal to the query relationship's type, directions aligned). Query
+constraints that the index does not guarantee (extra labels, missing types)
+become residual filters carried on the match — the "predicates left to filter
+on" that turn a PathIndexScan into a PathIndexFilteredScan (§5.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.pathindex.pattern import PathPattern
+from repro.querygraph import QueryGraph
+
+
+@dataclass(frozen=True)
+class IndexMatch:
+    """One way an index pattern embeds into the query graph."""
+
+    index_name: str
+    pattern: PathPattern
+    entry_vars: tuple[str, ...]
+    """Query variable bound by each stored entry position (2k+1 symbols:
+    node, rel, node, ..., node)."""
+
+    label_filters: tuple[tuple[str, str], ...]
+    """(variable, label) checks the index does not guarantee."""
+
+    type_filters: tuple[tuple[str, frozenset[str]], ...]
+    """(relationship variable, allowed types) checks the index does not
+    guarantee."""
+
+    @property
+    def rel_names(self) -> frozenset[str]:
+        return frozenset(self.entry_vars[1::2])
+
+    @property
+    def node_names(self) -> frozenset[str]:
+        return frozenset(self.entry_vars[0::2])
+
+    @property
+    def has_residual_filters(self) -> bool:
+        return bool(self.label_filters or self.type_filters)
+
+
+def find_index_matches(
+    query_graph: QueryGraph,
+    indexes: Mapping[str, PathPattern],
+    allowed: Iterable[str] | None = None,
+) -> list[IndexMatch]:
+    """All embeddings of the allowed indexes into ``query_graph``."""
+    allowed_set = None if allowed is None else set(allowed)
+    matches: list[IndexMatch] = []
+    seen: set[tuple[str, tuple[str, ...]]] = set()
+    for name, pattern in indexes.items():
+        if allowed_set is not None and name not in allowed_set:
+            continue
+        for entry_vars in _embeddings(query_graph, pattern):
+            key = (name, entry_vars)
+            if key in seen:
+                continue
+            seen.add(key)
+            matches.append(
+                _build_match(query_graph, name, pattern, entry_vars)
+            )
+    return matches
+
+
+def _embeddings(
+    query_graph: QueryGraph, pattern: PathPattern
+) -> list[tuple[str, ...]]:
+    """DFS enumeration of pattern embeddings (query rels used at most once)."""
+    results: list[tuple[str, ...]] = []
+    for start_name, start_node in query_graph.nodes.items():
+        if not _label_implied(pattern.labels[0], start_node.labels):
+            continue
+        _extend(
+            query_graph,
+            pattern,
+            position=0,
+            current=start_name,
+            path=[start_name],
+            used_rels=set(),
+            results=results,
+        )
+    return results
+
+
+def _extend(query_graph, pattern, position, current, path, used_rels, results):
+    if position == pattern.length:
+        results.append(tuple(path))
+        return
+    step = pattern.relationships[position]
+    next_label = pattern.labels[position + 1]
+    for rel in query_graph.relationships_of(current):
+        if rel.name in used_rels:
+            continue
+        if not rel.directed:
+            continue  # a directed index step cannot cover an undirected match
+        if step.forward:
+            if rel.start != current:
+                continue
+            neighbour = rel.end
+        else:
+            if rel.end != current:
+                continue
+            neighbour = rel.start
+        if step.type is not None and rel.types != frozenset({step.type}):
+            continue
+        if step.type is None and not rel.types:
+            pass  # untyped step over untyped query rel: fine, no filter
+        neighbour_node = query_graph.nodes[neighbour]
+        if not _label_implied(next_label, neighbour_node.labels):
+            continue
+        path.append(rel.name)
+        path.append(neighbour)
+        used_rels.add(rel.name)
+        _extend(
+            query_graph, pattern, position + 1, neighbour, path, used_rels, results
+        )
+        used_rels.discard(rel.name)
+        path.pop()
+        path.pop()
+
+
+def _label_implied(index_label, query_labels) -> bool:
+    """The index constraint must be guaranteed by the query pattern."""
+    return index_label is None or index_label in query_labels
+
+
+def _build_match(query_graph, name, pattern, entry_vars) -> IndexMatch:
+    # A variable bound at several slots (the query pattern revisits the node)
+    # gets every label guaranteed at any of its slots.
+    guaranteed_by_var: dict[str, set[str]] = {}
+    for slot, var in enumerate(entry_vars[0::2]):
+        bucket = guaranteed_by_var.setdefault(var, set())
+        if pattern.labels[slot] is not None:
+            bucket.add(pattern.labels[slot])
+    label_filters: list[tuple[str, str]] = []
+    for var in sorted(guaranteed_by_var):
+        for label in sorted(query_graph.nodes[var].labels):
+            if label not in guaranteed_by_var[var]:
+                label_filters.append((var, label))
+    type_filters: list[tuple[str, frozenset[str]]] = []
+    for slot, var in enumerate(entry_vars[1::2]):
+        step = pattern.relationships[slot]
+        rel = query_graph.relationships[var]
+        if step.type is None and rel.types:
+            type_filters.append((var, rel.types))
+    return IndexMatch(
+        index_name=name,
+        pattern=pattern,
+        entry_vars=entry_vars,
+        label_filters=tuple(label_filters),
+        type_filters=tuple(type_filters),
+    )

@@ -1,0 +1,19 @@
+"""Query graphs: the planner's view of a query part (§2.2, Figure 2).
+
+An analyzed query is split on WITH/RETURN boundaries into *parts*; the
+MATCH/WHERE clauses of each part form a :class:`QueryGraph` of pattern nodes,
+pattern relationships and selection predicates, which is further split into
+connected components for planning.
+"""
+
+from repro.querygraph.graph import QueryGraph, QueryNode, QueryRelationship
+from repro.querygraph.builder import QueryPart, UpdateAction, build_query_parts
+
+__all__ = [
+    "QueryGraph",
+    "QueryNode",
+    "QueryPart",
+    "QueryRelationship",
+    "UpdateAction",
+    "build_query_parts",
+]

@@ -1,0 +1,220 @@
+"""Expression evaluation with Cypher's ternary (NULL) logic.
+
+``evaluate`` returns a Python value or None (Cypher NULL). Comparisons
+involving NULL yield None; `AND`/`OR`/`NOT` follow three-valued logic; a
+filter keeps a row only when its predicate evaluates to exactly True.
+Property access resolves through the graph store using the variable-kind
+annotations from semantic analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cypher import ast
+from repro.cypher.semantics import VariableKind
+from repro.errors import ReproError
+from repro.storage.graphstore import GraphStore
+
+
+class EvaluationContext:
+    """Everything expression evaluation needs: store + variable kinds."""
+
+    def __init__(
+        self, store: GraphStore, variable_kinds: dict[str, VariableKind]
+    ) -> None:
+        self.store = store
+        self.variable_kinds = variable_kinds
+
+    def property_of(self, name: str, value: object, key: str) -> object:
+        key_id = self.store.property_keys.id_of(key)
+        if key_id is None or value is None:
+            return None
+        kind = self.variable_kinds.get(name)
+        if kind is VariableKind.RELATIONSHIP:
+            return self.store.relationship_property(int(value), key_id)
+        if kind is VariableKind.NODE:
+            return self.store.node_property(int(value), key_id)
+        raise ReproError(f"cannot access property {key!r} of value {name!r}")
+
+    def has_label(self, value: object, label: str) -> Optional[bool]:
+        if value is None:
+            return None
+        label_id = self.store.labels.id_of(label)
+        if label_id is None:
+            return False
+        return self.store.has_label(int(value), label_id)
+
+
+def evaluate(
+    expression: ast.Expression,
+    row,
+    ctx: EvaluationContext,
+    aggregate_values: Optional[dict] = None,
+):
+    """Evaluate ``expression`` against ``row``; None means Cypher NULL.
+
+    ``aggregate_values`` maps aggregate :class:`~repro.cypher.ast.FunctionCall`
+    nodes (they are hashable value objects) to their pre-computed results —
+    the aggregation operator substitutes them when evaluating a projection
+    item like ``count(x) + 1``.
+    """
+    if isinstance(expression, ast.Literal):
+        return expression.value
+    if isinstance(expression, ast.Variable):
+        return row.get(expression.name)
+    if isinstance(expression, ast.FunctionCall):
+        if aggregate_values is not None and expression in aggregate_values:
+            return aggregate_values[expression]
+        if expression.is_aggregate:
+            raise ReproError(
+                f"aggregate function {expression.name}() outside an "
+                "aggregating projection"
+            )
+        return _scalar_function(expression, row, ctx, aggregate_values)
+    if isinstance(expression, ast.PropertyAccess):
+        return ctx.property_of(
+            expression.subject, row.get(expression.subject), expression.key
+        )
+    if isinstance(expression, ast.HasLabel):
+        return ctx.has_label(row.get(expression.subject), expression.label)
+    if isinstance(expression, ast.Comparison):
+        return _compare(
+            expression.op,
+            evaluate(expression.left, row, ctx, aggregate_values),
+            evaluate(expression.right, row, ctx, aggregate_values),
+        )
+    if isinstance(expression, ast.Not):
+        value = evaluate(expression.operand, row, ctx, aggregate_values)
+        return None if value is None else not _truthy(value)
+    if isinstance(expression, ast.BooleanOp):
+        return _boolean(expression, row, ctx, aggregate_values)
+    if isinstance(expression, ast.Arithmetic):
+        return _arithmetic(
+            expression.op,
+            evaluate(expression.left, row, ctx, aggregate_values),
+            evaluate(expression.right, row, ctx, aggregate_values),
+        )
+    raise ReproError(f"cannot evaluate expression {expression!r}")
+
+
+def _scalar_function(
+    expression: ast.FunctionCall, row, ctx: EvaluationContext, aggregate_values
+):
+    argument = (
+        evaluate(expression.argument, row, ctx, aggregate_values)
+        if expression.argument is not None
+        else None
+    )
+    name = expression.name
+    if argument is None:
+        return None
+    if name == "id":
+        return int(argument)
+    if name == "type":
+        record = ctx.store.relationship(int(argument))
+        return ctx.store.types.name_of(record.type_id)
+    if name == "labels":
+        label_ids = ctx.store.node_labels(int(argument))
+        return sorted(ctx.store.labels.name_of(label_id) for label_id in label_ids)
+    if name == "size":
+        if isinstance(argument, (list, str)):
+            return len(argument)
+        raise ReproError(f"size() expects a list or string, got {argument!r}")
+    raise ReproError(f"unknown function {name}()")
+
+
+def is_true(expression: ast.Expression, row, ctx: EvaluationContext) -> bool:
+    """Predicate semantics: only an exact True passes."""
+    return evaluate(expression, row, ctx) is True
+
+
+# ---------------------------------------------------------------------------
+
+
+def _truthy(value: object) -> bool:
+    return bool(value)
+
+
+def _compare(op: ast.ComparisonOp, left, right):
+    if left is None or right is None:
+        return None
+    if op is ast.ComparisonOp.EQ:
+        return _eq(left, right)
+    if op is ast.ComparisonOp.NEQ:
+        equal = _eq(left, right)
+        return None if equal is None else not equal
+    if not _orderable(left, right):
+        return None
+    if op is ast.ComparisonOp.LT:
+        return left < right
+    if op is ast.ComparisonOp.GT:
+        return left > right
+    if op is ast.ComparisonOp.LE:
+        return left <= right
+    return left >= right
+
+
+def _eq(left, right):
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left == right
+    if type(left) is not type(right):
+        return False
+    return left == right
+
+
+def _orderable(left, right) -> bool:
+    numeric = isinstance(left, (int, float)) and isinstance(right, (int, float))
+    textual = isinstance(left, str) and isinstance(right, str)
+    return (numeric or textual) and not (
+        isinstance(left, bool) or isinstance(right, bool)
+    )
+
+
+def _boolean(expression: ast.BooleanOp, row, ctx, aggregate_values=None):
+    left = evaluate(expression.left, row, ctx, aggregate_values)
+    right = evaluate(expression.right, row, ctx, aggregate_values)
+    left_bool = None if left is None else _truthy(left)
+    right_bool = None if right is None else _truthy(right)
+    if expression.op == "AND":
+        if left_bool is False or right_bool is False:
+            return False
+        if left_bool is None or right_bool is None:
+            return None
+        return True
+    if expression.op == "OR":
+        if left_bool is True or right_bool is True:
+            return True
+        if left_bool is None or right_bool is None:
+            return None
+        return False
+    # XOR
+    if left_bool is None or right_bool is None:
+        return None
+    return left_bool != right_bool
+
+
+def _arithmetic(op: str, left, right):
+    if left is None or right is None:
+        return None
+    if op == "+" and isinstance(left, str) and isinstance(right, str):
+        return left + right
+    if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+        raise ReproError(f"cannot apply {op!r} to {left!r} and {right!r}")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ReproError("division by zero")
+        return left / right if isinstance(left, float) or isinstance(right, float) else left // right
+    if op == "%":
+        if right == 0:
+            raise ReproError("modulo by zero")
+        return left % right
+    raise ReproError(f"unknown arithmetic operator {op!r}")

@@ -1,0 +1,58 @@
+"""Execution rows: variable bindings plus bound-relationship tracking.
+
+Values are entity identifiers (ints) for node/relationship variables and
+plain Python values for projected expressions. ``rel_ids`` carries every
+relationship bound so far in the current query part so operators can enforce
+Cypher's relationship-uniqueness semantics cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class Row:
+    """An immutable-by-convention binding of variables to values."""
+
+    __slots__ = ("values", "rel_ids")
+
+    def __init__(
+        self,
+        values: Optional[dict[str, object]] = None,
+        rel_ids: frozenset[int] = frozenset(),
+    ) -> None:
+        self.values: dict[str, object] = values if values is not None else {}
+        self.rel_ids = rel_ids
+
+    @classmethod
+    def empty(cls) -> "Row":
+        return cls({}, frozenset())
+
+    def get(self, name: str) -> object:
+        return self.values.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.values
+
+    def extended(self, new_values: dict[str, object], new_rels: Iterable[int] = ()) -> "Row":
+        """A new row with extra bindings and relationship ids."""
+        merged = dict(self.values)
+        merged.update(new_values)
+        rels = self.rel_ids
+        new_rel_set = frozenset(new_rels)
+        if new_rel_set:
+            rels = rels | new_rel_set
+        return Row(merged, rels)
+
+    def project(self, values: dict[str, object]) -> "Row":
+        """A fresh row for a projection boundary (uniqueness scope resets)."""
+        return Row(values, frozenset())
+
+    def __repr__(self) -> str:
+        return f"Row({self.values})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Row) and self.values == other.values
+
+    def __hash__(self) -> int:  # pragma: no cover - rows rarely hashed
+        return hash(tuple(sorted(self.values.items(), key=lambda kv: kv[0])))

@@ -1,0 +1,210 @@
+"""Interactive Cypher shell and one-shot CLI.
+
+Usage::
+
+    python -m repro                          # REPL on an empty database
+    python -m repro --snapshot data/         # REPL on a saved snapshot
+    python -m repro --execute "MATCH ..."    # one query, print rows, exit
+
+Inside the REPL, statements end with ``;``. Meta-commands:
+
+    :help                       this text
+    :quit                       exit (a snapshot is saved if --snapshot set)
+    :explain <on|off>           print the plan before each query
+    :indexes                    list path indexes with cardinality and size
+    :create-index <name> <pattern>   build a path index, e.g.
+                                     :create-index k2 (:P)-[:K]->(:P)-[:K]->(:P)
+    :drop-index <name>          remove a path index
+    :stats                      node/relationship/index counts
+    :save <dir> / :load <dir>   snapshot persistence
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, Optional
+
+from repro import GraphDatabase, ReproError
+from repro.db.snapshot import load_snapshot, save_snapshot
+
+
+class Shell:
+    """A line-oriented Cypher REPL over one :class:`GraphDatabase`."""
+
+    def __init__(
+        self,
+        db: Optional[GraphDatabase] = None,
+        stdin: Optional[IO[str]] = None,
+        stdout: Optional[IO[str]] = None,
+    ) -> None:
+        self.db = db if db is not None else GraphDatabase()
+        self.stdin = stdin if stdin is not None else sys.stdin
+        self.stdout = stdout if stdout is not None else sys.stdout
+        self.explain = False
+        self.running = True
+
+    # ------------------------------------------------------------------
+
+    def println(self, text: str = "") -> None:
+        print(text, file=self.stdout)
+
+    def run(self) -> None:
+        """Read statements until EOF or :quit."""
+        buffer: list[str] = []
+        self.println("pathindex-repro shell — :help for commands")
+        for line in self.stdin:
+            stripped = line.strip()
+            if not buffer and stripped.startswith(":"):
+                self.handle_command(stripped)
+                if not self.running:
+                    return
+                continue
+            buffer.append(line)
+            if stripped.endswith(";"):
+                statement = "".join(buffer).strip().rstrip(";")
+                buffer.clear()
+                if statement:
+                    self.execute(statement)
+        if buffer and "".join(buffer).strip():
+            self.execute("".join(buffer).strip().rstrip(";"))
+
+    # ------------------------------------------------------------------
+
+    def execute(self, query: str) -> None:
+        try:
+            if self.explain:
+                self.println(self.db.explain(query))
+            result = self.db.execute(query)
+            rows = result.to_list()
+        except ReproError as exc:
+            self.println(f"error: {exc}")
+            return
+        if result.columns:
+            self.println(" | ".join(result.columns))
+            for row in rows:
+                self.println(
+                    " | ".join(str(row.get(column)) for column in result.columns)
+                )
+        self.println(
+            f"({result.count} row{'s' if result.count != 1 else ''}, "
+            f"{result.time_to_last_result * 1e3:.2f} ms, "
+            f"max intermediate {result.max_intermediate_cardinality})"
+        )
+
+    def handle_command(self, command_line: str) -> None:
+        command, _, argument = command_line.partition(" ")
+        argument = argument.strip()
+        handler = {
+            ":help": self._cmd_help,
+            ":quit": self._cmd_quit,
+            ":exit": self._cmd_quit,
+            ":explain": self._cmd_explain,
+            ":indexes": self._cmd_indexes,
+            ":create-index": self._cmd_create_index,
+            ":drop-index": self._cmd_drop_index,
+            ":stats": self._cmd_stats,
+            ":save": self._cmd_save,
+            ":load": self._cmd_load,
+        }.get(command)
+        if handler is None:
+            self.println(f"unknown command {command!r} — :help for commands")
+            return
+        try:
+            handler(argument)
+        except ReproError as exc:
+            self.println(f"error: {exc}")
+
+    # ------------------------------------------------------------------
+
+    def _cmd_help(self, argument: str) -> None:
+        self.println(__doc__.split("Meta-commands:")[-1].rstrip())
+
+    def _cmd_quit(self, argument: str) -> None:
+        self.running = False
+
+    def _cmd_explain(self, argument: str) -> None:
+        if argument not in ("on", "off"):
+            self.println("usage: :explain <on|off>")
+            return
+        self.explain = argument == "on"
+        self.println(f"explain {'enabled' if self.explain else 'disabled'}")
+
+    def _cmd_indexes(self, argument: str) -> None:
+        if len(self.db.indexes) == 0:
+            self.println("no path indexes")
+            return
+        for index in self.db.indexes:
+            self.println(
+                f"{index.name}: {index.pattern} "
+                f"({index.cardinality} entries, {index.size_on_disk()} bytes)"
+            )
+
+    def _cmd_create_index(self, argument: str) -> None:
+        name, _, pattern = argument.partition(" ")
+        if not name or not pattern.strip():
+            self.println("usage: :create-index <name> <pattern>")
+            return
+        stats = self.db.create_path_index(name, pattern.strip())
+        self.println(
+            f"created {stats.index_name!r}: {stats.cardinality} entries in "
+            f"{stats.seconds * 1e3:.1f} ms"
+        )
+
+    def _cmd_drop_index(self, argument: str) -> None:
+        if not argument:
+            self.println("usage: :drop-index <name>")
+            return
+        self.db.drop_path_index(argument)
+        self.println(f"dropped {argument!r}")
+
+    def _cmd_stats(self, argument: str) -> None:
+        statistics = self.db.store.statistics
+        self.println(
+            f"nodes: {statistics.node_count}, "
+            f"relationships: {statistics.relationship_count}, "
+            f"path indexes: {len(self.db.indexes)}"
+        )
+
+    def _cmd_save(self, argument: str) -> None:
+        if not argument:
+            self.println("usage: :save <directory>")
+            return
+        save_snapshot(self.db, argument)
+        self.println(f"snapshot written to {argument}")
+
+    def _cmd_load(self, argument: str) -> None:
+        if not argument:
+            self.println("usage: :load <directory>")
+            return
+        self.db = load_snapshot(argument)
+        self.println(f"snapshot loaded from {argument}")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="pathindex-repro: Cypher shell with path indexes",
+    )
+    parser.add_argument(
+        "--snapshot", help="snapshot directory to load (and save on :quit)"
+    )
+    parser.add_argument(
+        "--execute", "-e", help="run one query, print its rows, and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.snapshot:
+        try:
+            db = load_snapshot(args.snapshot)
+        except FileNotFoundError:
+            db = GraphDatabase()
+    else:
+        db = GraphDatabase()
+    shell = Shell(db)
+    if args.execute:
+        shell.execute(args.execute)
+        return 0
+    shell.run()
+    if args.snapshot:
+        save_snapshot(shell.db, args.snapshot)
+    return 0

@@ -1,0 +1,32 @@
+"""Storage substrate: page cache, record stores, graph store, statistics.
+
+This package reproduces the Neo4j 3.5 storage layer described in §2.1.2 of the
+paper (Figure 1): node records, relationship records chained into per-node
+doubly-linked lists, relationship group records for dense nodes, and property
+chains. All stores sit on a simulated :class:`~repro.storage.pagecache.PageCache`
+so the paper's cold-vs-cached experiments are meaningful.
+"""
+
+from repro.storage.pagecache import PageCache, PageCacheStats
+from repro.storage.records import (
+    NO_ID,
+    NodeRecord,
+    PropertyRecord,
+    RelationshipGroupRecord,
+    RelationshipRecord,
+)
+from repro.storage.graphstore import Direction, GraphStore
+from repro.storage.statistics import GraphStatistics
+
+__all__ = [
+    "Direction",
+    "GraphStatistics",
+    "GraphStore",
+    "NO_ID",
+    "NodeRecord",
+    "PageCache",
+    "PageCacheStats",
+    "PropertyRecord",
+    "RelationshipGroupRecord",
+    "RelationshipRecord",
+]

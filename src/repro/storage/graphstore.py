@@ -1,0 +1,639 @@
+"""The property-graph store: Figure 1 of the paper, executable.
+
+Nodes point at a doubly-linked chain of relationship records; each
+relationship record is a cell in the chains of both its endpoints. Nodes whose
+degree exceeds ``dense_node_threshold`` are converted to *dense* nodes whose
+relationships are split into per-type group records with separate
+outgoing/incoming/loop chains, enabling type-selective iteration (§2.1.2).
+
+All record reads/writes flow through :class:`~repro.storage.stores.RecordStore`
+and therefore touch the simulated page cache, which is what makes the paper's
+cold-run experiments reproducible.
+
+The store also enforces the Neo4j policy the paper's maintenance design relies
+on (§4.1.1): a node with attached relationships can never be deleted, so path
+index maintenance only ever has to consider relationship and label updates.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import ConstraintViolationError, RecordNotFoundError
+from repro.storage.pagecache import PageCache
+from repro.storage.records import (
+    NO_ID,
+    NodeRecord,
+    PropertyRecord,
+    RelationshipGroupRecord,
+    RelationshipRecord,
+)
+from repro.storage.statistics import GraphStatistics
+from repro.storage.stores import RecordStore, TokenStore
+
+DEFAULT_DENSE_NODE_THRESHOLD = 50
+"""Degree beyond which a node's relationships are regrouped per type."""
+
+
+class Direction(enum.Enum):
+    """Traversal direction relative to a node."""
+
+    OUTGOING = "OUTGOING"
+    INCOMING = "INCOMING"
+    BOTH = "BOTH"
+
+    def reverse(self) -> "Direction":
+        if self is Direction.OUTGOING:
+            return Direction.INCOMING
+        if self is Direction.INCOMING:
+            return Direction.OUTGOING
+        return Direction.BOTH
+
+
+class GraphStore:
+    """Record-level property graph with label index and statistics.
+
+    The mutation API is id-based (token ids for labels/types); the
+    :class:`~repro.db.database.GraphDatabase` facade translates names.
+    """
+
+    def __init__(
+        self,
+        page_cache: Optional[PageCache] = None,
+        dense_node_threshold: int = DEFAULT_DENSE_NODE_THRESHOLD,
+    ) -> None:
+        self.page_cache = page_cache if page_cache is not None else PageCache()
+        self.dense_node_threshold = dense_node_threshold
+        self.nodes: RecordStore[NodeRecord] = RecordStore(
+            "neostore.nodestore.db", NodeRecord.RECORD_SIZE, self.page_cache
+        )
+        self.relationships: RecordStore[RelationshipRecord] = RecordStore(
+            "neostore.relationshipstore.db",
+            RelationshipRecord.RECORD_SIZE,
+            self.page_cache,
+        )
+        self.properties: RecordStore[PropertyRecord] = RecordStore(
+            "neostore.propertystore.db", PropertyRecord.RECORD_SIZE, self.page_cache
+        )
+        self.groups: RecordStore[RelationshipGroupRecord] = RecordStore(
+            "neostore.relationshipgroupstore.db",
+            RelationshipGroupRecord.RECORD_SIZE,
+            self.page_cache,
+        )
+        self.labels = TokenStore("labels")
+        self.types = TokenStore("types")
+        self.property_keys = TokenStore("property_keys")
+        self.statistics = GraphStatistics()
+        # Built-in label index (Neo4j's label scan store): label -> node ids.
+        self._label_index: dict[int, dict[int, None]] = {}
+        self._degrees: dict[int, int] = {}
+        # Dense node: node_id -> {type_id -> group record id}
+        self._group_lookup: dict[int, dict[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+
+    def create_node(self, label_ids: Iterable[int] = ()) -> int:
+        """Create a node with the given labels; returns its id."""
+        labels = frozenset(label_ids)
+        node_id = self.nodes.allocate_id()
+        self.nodes.write(node_id, NodeRecord(id=node_id, labels=labels))
+        self._degrees[node_id] = 0
+        for label_id in labels:
+            self._label_index.setdefault(label_id, {})[node_id] = None
+        self.statistics.node_added(labels)
+        return node_id
+
+    def delete_node(self, node_id: int) -> None:
+        """Delete a node; refuses while relationships are attached."""
+        record = self.nodes.read(node_id)
+        if self._degrees.get(node_id, 0) > 0:
+            raise ConstraintViolationError(
+                f"cannot delete node {node_id}: it still has relationships"
+            )
+        self._free_property_chain(record.first_prop)
+        for label_id in record.labels:
+            bucket = self._label_index.get(label_id)
+            if bucket is not None:
+                bucket.pop(node_id, None)
+        self.statistics.node_removed(record.labels)
+        self.nodes.free(node_id)
+        self._degrees.pop(node_id, None)
+        self._group_lookup.pop(node_id, None)
+
+    def node(self, node_id: int) -> NodeRecord:
+        return self.nodes.read(node_id)
+
+    def node_exists(self, node_id: int) -> bool:
+        return self.nodes.exists(node_id)
+
+    def node_labels(self, node_id: int) -> frozenset[int]:
+        return self.nodes.read(node_id).labels
+
+    def has_label(self, node_id: int, label_id: int) -> bool:
+        return label_id in self.nodes.read(node_id).labels
+
+    def add_label(self, node_id: int, label_id: int) -> bool:
+        """Add a label; returns False if the node already had it."""
+        record = self.nodes.read(node_id)
+        if label_id in record.labels:
+            return False
+        record.labels = record.labels | {label_id}
+        self.nodes.write(node_id, record)
+        self._label_index.setdefault(label_id, {})[node_id] = None
+        self.statistics.label_added(label_id)
+        self._stats_relabel(node_id, label_id, added=True)
+        return True
+
+    def remove_label(self, node_id: int, label_id: int) -> bool:
+        """Remove a label; returns False if the node did not have it."""
+        record = self.nodes.read(node_id)
+        if label_id not in record.labels:
+            return False
+        record.labels = record.labels - {label_id}
+        self.nodes.write(node_id, record)
+        bucket = self._label_index.get(label_id)
+        if bucket is not None:
+            bucket.pop(node_id, None)
+        self.statistics.label_removed(label_id)
+        self._stats_relabel(node_id, label_id, added=False)
+        return True
+
+    def all_nodes(self) -> Iterator[int]:
+        """Scan all node ids in store order (AllNodesScan)."""
+        return self.nodes.ids_in_use()
+
+    def nodes_with_label(self, label_id: int) -> Iterator[int]:
+        """Scan node ids via the built-in label index (NodeByLabelScan)."""
+        bucket = self._label_index.get(label_id)
+        if bucket is None:
+            return iter(())
+        # Touch the node records like the real scan store would.
+        def generate() -> Iterator[int]:
+            for node_id in list(bucket):
+                self.nodes.read(node_id)
+                yield node_id
+
+        return generate()
+
+    def degree(
+        self,
+        node_id: int,
+        direction: Direction = Direction.BOTH,
+        type_id: Optional[int] = None,
+    ) -> int:
+        """Degree of ``node_id``; O(1) for BOTH/any-type, chain walk otherwise."""
+        if direction is Direction.BOTH and type_id is None:
+            if not self.nodes.exists(node_id):
+                raise RecordNotFoundError(f"no node {node_id}")
+            return self._degrees.get(node_id, 0)
+        return sum(1 for _ in self.relationships_of(node_id, direction, type_id))
+
+    # ------------------------------------------------------------------
+    # Relationships
+    # ------------------------------------------------------------------
+
+    def create_relationship(self, start: int, end: int, type_id: int) -> int:
+        """Create ``(start)-[:type]->(end)``; returns the relationship id."""
+        start_record = self.nodes.read(start)
+        end_record = self.nodes.read(end)
+        rel_id = self.relationships.allocate_id()
+        rel = RelationshipRecord(
+            id=rel_id, type_id=type_id, start_node=start, end_node=end
+        )
+        self.relationships.write(rel_id, rel)
+        self._link_into_chain(rel, start, start_record)
+        if start != end:
+            self._link_into_chain(rel, end, end_record)
+        self._degrees[start] = self._degrees.get(start, 0) + 1
+        if start != end:
+            self._degrees[end] = self._degrees.get(end, 0) + 1
+        self._maybe_densify(start)
+        if start != end:
+            self._maybe_densify(end)
+        self.statistics.relationship_added(
+            type_id, start_record.labels, end_record.labels
+        )
+        return rel_id
+
+    def delete_relationship(self, rel_id: int) -> None:
+        """Delete a relationship, unlinking it from both endpoint chains."""
+        rel = self.relationships.read(rel_id)
+        self._unlink_from_chain(rel, rel.start_node)
+        if rel.start_node != rel.end_node:
+            self._unlink_from_chain(rel, rel.end_node)
+        self._free_property_chain(rel.first_prop)
+        self._degrees[rel.start_node] -= 1
+        if rel.start_node != rel.end_node:
+            self._degrees[rel.end_node] -= 1
+        start_labels = self.nodes.read(rel.start_node).labels
+        end_labels = self.nodes.read(rel.end_node).labels
+        self.statistics.relationship_removed(rel.type_id, start_labels, end_labels)
+        self.relationships.free(rel_id)
+
+    def relationship(self, rel_id: int) -> RelationshipRecord:
+        return self.relationships.read(rel_id)
+
+    def relationship_exists(self, rel_id: int) -> bool:
+        return self.relationships.exists(rel_id)
+
+    def all_relationships(self) -> Iterator[int]:
+        """Scan all relationship ids in store order."""
+        return self.relationships.ids_in_use()
+
+    def relationships_of(
+        self,
+        node_id: int,
+        direction: Direction = Direction.BOTH,
+        type_id: Optional[int] = None,
+    ) -> Iterator[RelationshipRecord]:
+        """Iterate relationships incident to ``node_id``.
+
+        For dense nodes, a ``type_id`` filter only walks the matching group's
+        chains; sparse nodes walk their single chain and filter.
+        """
+        record = self.nodes.read(node_id)
+        if record.dense:
+            yield from self._dense_relationships(node_id, record, direction, type_id)
+            return
+        rel_ptr = record.first_rel
+        while rel_ptr != NO_ID:
+            rel = self.relationships.read(rel_ptr)
+            if self._matches(rel, node_id, direction, type_id):
+                yield rel
+            rel_ptr = rel.chain_next(node_id)
+
+    def expand(
+        self,
+        node_id: int,
+        direction: Direction,
+        type_id: Optional[int] = None,
+    ) -> Iterator[tuple[RelationshipRecord, int]]:
+        """Yield ``(relationship, neighbour_id)`` pairs for an Expand step."""
+        for rel in self.relationships_of(node_id, direction, type_id):
+            yield rel, rel.other_node(node_id)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    def set_node_property(self, node_id: int, key_id: int, value: object) -> None:
+        record = self.nodes.read(node_id)
+        record.first_prop = self._chain_set(record.first_prop, key_id, value)
+        self.nodes.write(node_id, record)
+
+    def node_property(self, node_id: int, key_id: int) -> object:
+        return self._chain_get(self.nodes.read(node_id).first_prop, key_id)
+
+    def remove_node_property(self, node_id: int, key_id: int) -> None:
+        record = self.nodes.read(node_id)
+        record.first_prop = self._chain_remove(record.first_prop, key_id)
+        self.nodes.write(node_id, record)
+
+    def node_properties(self, node_id: int) -> dict[int, object]:
+        return self._chain_all(self.nodes.read(node_id).first_prop)
+
+    def set_relationship_property(
+        self, rel_id: int, key_id: int, value: object
+    ) -> None:
+        rel = self.relationships.read(rel_id)
+        rel.first_prop = self._chain_set(rel.first_prop, key_id, value)
+        self.relationships.write(rel_id, rel)
+
+    def relationship_property(self, rel_id: int, key_id: int) -> object:
+        return self._chain_get(self.relationships.read(rel_id).first_prop, key_id)
+
+    def relationship_properties(self, rel_id: int) -> dict[int, object]:
+        return self._chain_all(self.relationships.read(rel_id).first_prop)
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+
+    def size_on_disk(self) -> int:
+        """Total bytes of all graph store files (excludes indexes, like §6.3)."""
+        return (
+            self.nodes.size_on_disk()
+            + self.relationships.size_on_disk()
+            + self.properties.size_on_disk()
+            + self.groups.size_on_disk()
+        )
+
+    # ------------------------------------------------------------------
+    # Chain plumbing (sparse nodes)
+    # ------------------------------------------------------------------
+
+    def _link_into_chain(
+        self, rel: RelationshipRecord, node_id: int, node_record: NodeRecord
+    ) -> None:
+        if node_record.dense:
+            self._link_into_group(rel, node_id)
+            return
+        head = node_record.first_rel
+        self._set_chain_pointers(rel, node_id, prev=NO_ID, next_=head)
+        if head != NO_ID:
+            old_head = self.relationships.read(head)
+            self._set_chain_prev(old_head, node_id, rel.id)
+            self.relationships.write(head, old_head)
+        node_record.first_rel = rel.id
+        self.nodes.write(node_id, node_record)
+        self.relationships.write(rel.id, rel)
+
+    def _unlink_from_chain(self, rel: RelationshipRecord, node_id: int) -> None:
+        node_record = self.nodes.read(node_id)
+        if node_record.dense:
+            self._unlink_from_group(rel, node_id)
+            return
+        prev_id = self._chain_prev(rel, node_id)
+        next_id = rel.chain_next(node_id)
+        if prev_id != NO_ID:
+            prev = self.relationships.read(prev_id)
+            self._set_chain_next(prev, node_id, next_id)
+            self.relationships.write(prev_id, prev)
+        else:
+            node_record.first_rel = next_id
+            self.nodes.write(node_id, node_record)
+        if next_id != NO_ID:
+            nxt = self.relationships.read(next_id)
+            self._set_chain_prev(nxt, node_id, prev_id)
+            self.relationships.write(next_id, nxt)
+
+    @staticmethod
+    def _set_chain_pointers(
+        rel: RelationshipRecord, node_id: int, prev: int, next_: int
+    ) -> None:
+        if node_id == rel.start_node:
+            rel.start_prev, rel.start_next = prev, next_
+        else:
+            rel.end_prev, rel.end_next = prev, next_
+
+    @staticmethod
+    def _chain_prev(rel: RelationshipRecord, node_id: int) -> int:
+        return rel.start_prev if node_id == rel.start_node else rel.end_prev
+
+    @staticmethod
+    def _set_chain_prev(rel: RelationshipRecord, node_id: int, prev: int) -> None:
+        if node_id == rel.start_node:
+            rel.start_prev = prev
+        else:
+            rel.end_prev = prev
+
+    @staticmethod
+    def _set_chain_next(rel: RelationshipRecord, node_id: int, next_: int) -> None:
+        if node_id == rel.start_node:
+            rel.start_next = next_
+        else:
+            rel.end_next = next_
+
+    # ------------------------------------------------------------------
+    # Dense nodes: relationship groups
+    # ------------------------------------------------------------------
+
+    def _maybe_densify(self, node_id: int) -> None:
+        record = self.nodes.read(node_id)
+        if record.dense or self._degrees[node_id] <= self.dense_node_threshold:
+            return
+        # Collect the existing chain, then rebuild as per-type groups.
+        rels = list(self.relationships_of(node_id))
+        record.dense = True
+        record.first_rel = NO_ID
+        self.nodes.write(node_id, record)
+        self._group_lookup[node_id] = {}
+        for rel in rels:
+            self._set_chain_pointers(rel, node_id, NO_ID, NO_ID)
+            if rel.start_node == rel.end_node:
+                rel.end_prev = rel.end_next = NO_ID
+            self.relationships.write(rel.id, rel)
+            self._link_into_group(rel, node_id)
+
+    def _group_for(self, node_id: int, type_id: int) -> RelationshipGroupRecord:
+        lookup = self._group_lookup.setdefault(node_id, {})
+        group_id = lookup.get(type_id)
+        if group_id is not None:
+            return self.groups.read(group_id)
+        group_id = self.groups.allocate_id()
+        node_record = self.nodes.read(node_id)
+        group = RelationshipGroupRecord(
+            id=group_id,
+            owning_node=node_id,
+            type_id=type_id,
+            next_group=node_record.first_rel,
+        )
+        self.groups.write(group_id, group)
+        node_record.first_rel = group_id
+        self.nodes.write(node_id, node_record)
+        lookup[type_id] = group_id
+        return group
+
+    def _link_into_group(self, rel: RelationshipRecord, node_id: int) -> None:
+        group = self._group_for(node_id, rel.type_id)
+        if rel.start_node == rel.end_node:
+            head_attr = "first_loop"
+        elif node_id == rel.start_node:
+            head_attr = "first_out"
+        else:
+            head_attr = "first_in"
+        head = getattr(group, head_attr)
+        self._set_chain_pointers(rel, node_id, prev=NO_ID, next_=head)
+        if head != NO_ID:
+            old_head = self.relationships.read(head)
+            self._set_chain_prev(old_head, node_id, rel.id)
+            self.relationships.write(head, old_head)
+        setattr(group, head_attr, rel.id)
+        self.groups.write(group.id, group)
+        self.relationships.write(rel.id, rel)
+
+    def _unlink_from_group(self, rel: RelationshipRecord, node_id: int) -> None:
+        group_id = self._group_lookup[node_id][rel.type_id]
+        group = self.groups.read(group_id)
+        if rel.start_node == rel.end_node:
+            head_attr = "first_loop"
+        elif node_id == rel.start_node:
+            head_attr = "first_out"
+        else:
+            head_attr = "first_in"
+        prev_id = self._chain_prev(rel, node_id)
+        next_id = rel.chain_next(node_id)
+        if prev_id != NO_ID:
+            prev = self.relationships.read(prev_id)
+            self._set_chain_next(prev, node_id, next_id)
+            self.relationships.write(prev_id, prev)
+        else:
+            setattr(group, head_attr, next_id)
+            self.groups.write(group_id, group)
+        if next_id != NO_ID:
+            nxt = self.relationships.read(next_id)
+            self._set_chain_prev(nxt, node_id, prev_id)
+            self.relationships.write(next_id, nxt)
+
+    def _dense_relationships(
+        self,
+        node_id: int,
+        record: NodeRecord,
+        direction: Direction,
+        type_id: Optional[int],
+    ) -> Iterator[RelationshipRecord]:
+        group_ptr = record.first_rel
+        while group_ptr != NO_ID:
+            group = self.groups.read(group_ptr)
+            if type_id is None or group.type_id == type_id:
+                heads = []
+                if direction in (Direction.OUTGOING, Direction.BOTH):
+                    heads.append(group.first_out)
+                if direction in (Direction.INCOMING, Direction.BOTH):
+                    heads.append(group.first_in)
+                heads.append(group.first_loop)
+                for head in heads:
+                    rel_ptr = head
+                    while rel_ptr != NO_ID:
+                        rel = self.relationships.read(rel_ptr)
+                        yield rel
+                        rel_ptr = rel.chain_next(node_id)
+            group_ptr = group.next_group
+
+    @staticmethod
+    def _matches(
+        rel: RelationshipRecord,
+        node_id: int,
+        direction: Direction,
+        type_id: Optional[int],
+    ) -> bool:
+        if type_id is not None and rel.type_id != type_id:
+            return False
+        if direction is Direction.BOTH or rel.start_node == rel.end_node:
+            return True
+        if direction is Direction.OUTGOING:
+            return rel.start_node == node_id
+        return rel.end_node == node_id
+
+    # ------------------------------------------------------------------
+    # Property chains
+    # ------------------------------------------------------------------
+
+    def _chain_set(self, head: int, key_id: int, value: object) -> int:
+        ptr = head
+        while ptr != NO_ID:
+            prop = self.properties.read(ptr)
+            if prop.key_id == key_id:
+                prop.value = value
+                self.properties.write(ptr, prop)
+                return head
+            ptr = prop.next_prop
+        prop_id = self.properties.allocate_id()
+        self.properties.write(
+            prop_id,
+            PropertyRecord(id=prop_id, key_id=key_id, value=value, next_prop=head),
+        )
+        if head != NO_ID:
+            old = self.properties.read(head)
+            old.prev_prop = prop_id
+            self.properties.write(head, old)
+        return prop_id
+
+    def _chain_get(self, head: int, key_id: int) -> object:
+        ptr = head
+        while ptr != NO_ID:
+            prop = self.properties.read(ptr)
+            if prop.key_id == key_id:
+                return prop.value
+            ptr = prop.next_prop
+        return None
+
+    def _chain_remove(self, head: int, key_id: int) -> int:
+        ptr = head
+        while ptr != NO_ID:
+            prop = self.properties.read(ptr)
+            if prop.key_id == key_id:
+                if prop.prev_prop != NO_ID:
+                    prev = self.properties.read(prop.prev_prop)
+                    prev.next_prop = prop.next_prop
+                    self.properties.write(prev.id, prev)
+                else:
+                    head = prop.next_prop
+                if prop.next_prop != NO_ID:
+                    nxt = self.properties.read(prop.next_prop)
+                    nxt.prev_prop = prop.prev_prop
+                    self.properties.write(nxt.id, nxt)
+                self.properties.free(ptr)
+                return head
+            ptr = prop.next_prop
+        return head
+
+    def _chain_all(self, head: int) -> dict[int, object]:
+        result: dict[int, object] = {}
+        ptr = head
+        while ptr != NO_ID:
+            prop = self.properties.read(ptr)
+            result[prop.key_id] = prop.value
+            ptr = prop.next_prop
+        return result
+
+    def _free_property_chain(self, head: int) -> None:
+        ptr = head
+        while ptr != NO_ID:
+            prop = self.properties.read(ptr)
+            next_ptr = prop.next_prop
+            self.properties.free(ptr)
+            ptr = next_ptr
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def rebuild_derived_state(self) -> None:
+        """Recompute every structure derivable from the raw records: the
+        label index, degree counters, dense-node group lookup and the
+        statistics counts. Used after a snapshot restore."""
+        self._label_index = {}
+        self._degrees = {}
+        self._group_lookup = {}
+        self.statistics = GraphStatistics()
+        for node_id in self.nodes.ids_in_use():
+            record = self.nodes.read(node_id)
+            self._degrees[node_id] = 0
+            for label_id in record.labels:
+                self._label_index.setdefault(label_id, {})[node_id] = None
+            self.statistics.node_added(record.labels)
+            if record.dense:
+                lookup = self._group_lookup.setdefault(node_id, {})
+                group_ptr = record.first_rel
+                while group_ptr != NO_ID:
+                    group = self.groups.read(group_ptr)
+                    lookup[group.type_id] = group.id
+                    group_ptr = group.next_group
+        for rel_id in self.relationships.ids_in_use():
+            record = self.relationships.read(rel_id)
+            self._degrees[record.start_node] += 1
+            if record.start_node != record.end_node:
+                self._degrees[record.end_node] += 1
+            self.statistics.relationship_added(
+                record.type_id,
+                self.nodes.read(record.start_node).labels,
+                self.nodes.read(record.end_node).labels,
+            )
+
+    # ------------------------------------------------------------------
+    # Statistics upkeep for label changes on connected nodes
+    # ------------------------------------------------------------------
+
+    def _stats_relabel(self, node_id: int, label_id: int, added: bool) -> None:
+        """Adjust directional rel counts when a connected node changes labels."""
+        for rel in self.relationships_of(node_id):
+            if rel.start_node == node_id:
+                key = (label_id, rel.type_id)
+                if added:
+                    self.statistics.rels_by_start_label_type[key] += 1
+                else:
+                    GraphStatistics._dec(
+                        self.statistics.rels_by_start_label_type, key
+                    )
+            if rel.end_node == node_id:
+                key = (rel.type_id, label_id)
+                if added:
+                    self.statistics.rels_by_type_end_label[key] += 1
+                else:
+                    GraphStatistics._dec(
+                        self.statistics.rels_by_type_end_label, key
+                    )

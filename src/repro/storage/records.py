@@ -1,0 +1,114 @@
+"""Record types mirroring the Neo4j 3.5 store layout (paper §2.1.2, Figure 1).
+
+Every record type knows its on-disk size so the stores can map record ids to
+page offsets for the simulated page cache and report realistic store sizes.
+The byte sizes match the fixed-size record formats of Neo4j 3.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+NO_ID = -1
+"""Sentinel for "no record" in record pointer fields (Neo4j uses -1 / 0xFF..)."""
+
+NODE_RECORD_SIZE = 15
+RELATIONSHIP_RECORD_SIZE = 34
+PROPERTY_RECORD_SIZE = 41
+RELATIONSHIP_GROUP_RECORD_SIZE = 32
+
+
+@dataclass
+class NodeRecord:
+    """A node: pointers to its relationship chain, property chain and labels.
+
+    ``dense`` mirrors Neo4j's dense-node flag: when set, ``first_rel`` points
+    into the relationship *group* store instead of the relationship store.
+    """
+
+    id: int
+    first_rel: int = NO_ID
+    first_prop: int = NO_ID
+    labels: frozenset[int] = field(default_factory=frozenset)
+    dense: bool = False
+    in_use: bool = True
+
+    RECORD_SIZE = NODE_RECORD_SIZE
+
+
+@dataclass
+class RelationshipRecord:
+    """A directed, typed relationship that doubles as two linked-list cells.
+
+    The record participates in the relationship chain of its start node (via
+    ``start_prev``/``start_next``) and of its end node (``end_prev``/
+    ``end_next``), exactly as in Figure 1 of the paper.
+    """
+
+    id: int
+    type_id: int
+    start_node: int
+    end_node: int
+    first_prop: int = NO_ID
+    start_prev: int = NO_ID
+    start_next: int = NO_ID
+    end_prev: int = NO_ID
+    end_next: int = NO_ID
+    in_use: bool = True
+
+    RECORD_SIZE = RELATIONSHIP_RECORD_SIZE
+
+    def chain_next(self, node_id: int) -> int:
+        """Next relationship in ``node_id``'s chain (start- or end-side)."""
+        if node_id == self.start_node:
+            return self.start_next
+        if node_id == self.end_node:
+            return self.end_next
+        raise ValueError(
+            f"node {node_id} is not an endpoint of relationship {self.id}"
+        )
+
+    def other_node(self, node_id: int) -> int:
+        """The endpoint opposite to ``node_id``. Loops return ``node_id``."""
+        if node_id == self.start_node:
+            return self.end_node
+        if node_id == self.end_node:
+            return self.start_node
+        raise ValueError(
+            f"node {node_id} is not an endpoint of relationship {self.id}"
+        )
+
+
+@dataclass
+class PropertyRecord:
+    """One key/value pair in an entity's property chain."""
+
+    id: int
+    key_id: int
+    value: object
+    prev_prop: int = NO_ID
+    next_prop: int = NO_ID
+    in_use: bool = True
+
+    RECORD_SIZE = PROPERTY_RECORD_SIZE
+
+
+@dataclass
+class RelationshipGroupRecord:
+    """Per-type relationship chain heads for a dense node.
+
+    Dense nodes keep one group record per relationship type with three chain
+    heads (outgoing, incoming, loops), allowing type-selective iteration
+    without walking unrelated relationships (paper §2.1.2).
+    """
+
+    id: int
+    owning_node: int
+    type_id: int
+    next_group: int = NO_ID
+    first_out: int = NO_ID
+    first_in: int = NO_ID
+    first_loop: int = NO_ID
+    in_use: bool = True
+
+    RECORD_SIZE = RELATIONSHIP_GROUP_RECORD_SIZE

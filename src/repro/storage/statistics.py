@@ -1,0 +1,123 @@
+"""Graph statistics consumed by the cardinality estimator.
+
+Mirrors the counts Neo4j's counts store keeps and the planner's cost estimator
+reads (paper §2.1.4/§2.2): total nodes, nodes per label, total relationships,
+relationships per type, and the directional label/type combinations
+``(:L)-[:T]->()`` and ``()-[:T]->(:L)``. These are maintained incrementally by
+the statistics transaction applier, never recomputed by scanning.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional
+
+
+class GraphStatistics:
+    """Incrementally-maintained counts for cardinality estimation."""
+
+    def __init__(self) -> None:
+        self.node_count = 0
+        self.relationship_count = 0
+        self.nodes_by_label: Counter[int] = Counter()
+        self.rels_by_type: Counter[int] = Counter()
+        # (label_id, type_id) -> count of rels of that type starting at a node
+        # with that label; and ending, respectively.
+        self.rels_by_start_label_type: Counter[tuple[int, int]] = Counter()
+        self.rels_by_type_end_label: Counter[tuple[int, int]] = Counter()
+
+    # -- node lifecycle ----------------------------------------------------
+
+    def node_added(self, labels: Iterable[int]) -> None:
+        self.node_count += 1
+        for label_id in labels:
+            self.nodes_by_label[label_id] += 1
+
+    def node_removed(self, labels: Iterable[int]) -> None:
+        self.node_count -= 1
+        for label_id in labels:
+            self._dec(self.nodes_by_label, label_id)
+
+    def label_added(self, label_id: int) -> None:
+        self.nodes_by_label[label_id] += 1
+
+    def label_removed(self, label_id: int) -> None:
+        self._dec(self.nodes_by_label, label_id)
+
+    # -- relationship lifecycle --------------------------------------------
+
+    def relationship_added(
+        self,
+        type_id: int,
+        start_labels: Iterable[int],
+        end_labels: Iterable[int],
+    ) -> None:
+        self.relationship_count += 1
+        self.rels_by_type[type_id] += 1
+        for label_id in start_labels:
+            self.rels_by_start_label_type[(label_id, type_id)] += 1
+        for label_id in end_labels:
+            self.rels_by_type_end_label[(type_id, label_id)] += 1
+
+    def relationship_removed(
+        self,
+        type_id: int,
+        start_labels: Iterable[int],
+        end_labels: Iterable[int],
+    ) -> None:
+        self.relationship_count -= 1
+        self._dec(self.rels_by_type, type_id)
+        for label_id in start_labels:
+            self._dec(self.rels_by_start_label_type, (label_id, type_id))
+        for label_id in end_labels:
+            self._dec(self.rels_by_type_end_label, (type_id, label_id))
+
+    # -- queries used by the estimator ---------------------------------------
+
+    def nodes_with_label(self, label_id: Optional[int]) -> int:
+        """Count of nodes with ``label_id`` (all nodes when None)."""
+        if label_id is None:
+            return self.node_count
+        return self.nodes_by_label.get(label_id, 0)
+
+    def rels_with_type(self, type_id: Optional[int]) -> int:
+        """Count of relationships with ``type_id`` (all when None)."""
+        if type_id is None:
+            return self.relationship_count
+        return self.rels_by_type.get(type_id, 0)
+
+    def rels_with_start_label_and_type(
+        self, label_id: Optional[int], type_id: Optional[int]
+    ) -> int:
+        """Count of ``(:label)-[:type]->()`` relationships."""
+        if label_id is None:
+            return self.rels_with_type(type_id)
+        if type_id is None:
+            return sum(
+                count
+                for (lbl, _), count in self.rels_by_start_label_type.items()
+                if lbl == label_id
+            )
+        return self.rels_by_start_label_type.get((label_id, type_id), 0)
+
+    def rels_with_type_and_end_label(
+        self, type_id: Optional[int], label_id: Optional[int]
+    ) -> int:
+        """Count of ``()-[:type]->(:label)`` relationships."""
+        if label_id is None:
+            return self.rels_with_type(type_id)
+        if type_id is None:
+            return sum(
+                count
+                for (_, lbl), count in self.rels_by_type_end_label.items()
+                if lbl == label_id
+            )
+        return self.rels_by_type_end_label.get((type_id, label_id), 0)
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _dec(counter: Counter, key) -> None:
+        counter[key] -= 1
+        if counter[key] <= 0:
+            del counter[key]

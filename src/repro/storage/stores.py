@@ -1,0 +1,176 @@
+"""Record stores: sequential, fixed-record-size files behind the page cache.
+
+Each store is "a sequential block of memory that is mapped to a file on disk"
+(paper §2.1.2). We model the file as a Python list indexed by record id, with a
+free-list for id reuse, and report every record access to the page cache using
+``record_id * record_size`` as the byte offset — the same mapping Neo4j's page
+cache performs.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, TypeVar
+
+from repro.errors import RecordNotFoundError, StorageError
+from repro.storage.pagecache import PageCache
+
+R = TypeVar("R")
+
+
+class RecordStore(Generic[R]):
+    """A fixed-record-size store with free-list id allocation.
+
+    ``record_size`` is the on-disk size per record; it drives both the page
+    mapping and :meth:`size_on_disk`.
+    """
+
+    def __init__(self, name: str, record_size: int, page_cache: PageCache) -> None:
+        self.name = name
+        self.record_size = record_size
+        self._page_cache = page_cache
+        page_cache.register_file(name)
+        self._records: list[Optional[R]] = []
+        self._free_ids: list[int] = []
+        self._in_use = 0
+
+    def allocate_id(self) -> int:
+        """Reserve an id (reusing freed ids first, like Neo4j's id files)."""
+        if self._free_ids:
+            return self._free_ids.pop()
+        self._records.append(None)
+        return len(self._records) - 1
+
+    def write(self, record_id: int, record: R) -> None:
+        """Write ``record`` at ``record_id`` (which must have been allocated)."""
+        if record_id < 0 or record_id >= len(self._records):
+            raise StorageError(
+                f"{self.name}: write to unallocated id {record_id}"
+            )
+        self._touch(record_id)
+        if self._records[record_id] is None:
+            self._in_use += 1
+        self._records[record_id] = record
+
+    def read(self, record_id: int) -> R:
+        """Read the record at ``record_id``; raises if absent or freed."""
+        record = self.try_read(record_id)
+        if record is None:
+            raise RecordNotFoundError(f"{self.name}: no record {record_id}")
+        return record
+
+    def try_read(self, record_id: int) -> Optional[R]:
+        """Like :meth:`read` but returns None for missing records."""
+        if record_id < 0 or record_id >= len(self._records):
+            return None
+        self._touch(record_id)
+        return self._records[record_id]
+
+    def free(self, record_id: int) -> None:
+        """Delete the record and recycle its id."""
+        if record_id < 0 or record_id >= len(self._records):
+            raise RecordNotFoundError(f"{self.name}: no record {record_id}")
+        if self._records[record_id] is None:
+            raise RecordNotFoundError(f"{self.name}: record {record_id} already freed")
+        self._touch(record_id)
+        self._records[record_id] = None
+        self._in_use -= 1
+        self._free_ids.append(record_id)
+
+    def exists(self, record_id: int) -> bool:
+        return (
+            0 <= record_id < len(self._records)
+            and self._records[record_id] is not None
+        )
+
+    def ids_in_use(self) -> Iterator[int]:
+        """All live record ids in id order (a sequential store scan)."""
+        for record_id, record in enumerate(self._records):
+            if record is not None:
+                self._touch(record_id)
+                yield record_id
+
+    def __len__(self) -> int:
+        return self._in_use
+
+    @property
+    def highest_id(self) -> int:
+        """One past the largest id ever allocated (the file's record count)."""
+        return len(self._records)
+
+    def size_on_disk(self) -> int:
+        """Bytes of the backing file: allocated records × record size."""
+        return len(self._records) * self.record_size
+
+    def _touch(self, record_id: int) -> None:
+        self._page_cache.touch(self.name, record_id * self.record_size)
+
+    # -- snapshot support -------------------------------------------------
+
+    def dump_records(self) -> dict[int, R]:
+        """All live records by id (snapshot save; no page accounting)."""
+        return {
+            record_id: record
+            for record_id, record in enumerate(self._records)
+            if record is not None
+        }
+
+    def restore_records(self, records: dict[int, R]) -> None:
+        """Replace the store's contents wholesale (snapshot load).
+
+        Record ids are preserved exactly; gaps become free ids, largest
+        first so future allocation reuses low ids the way a freshly
+        replayed store would.
+        """
+        highest = max(records) if records else -1
+        self._records = [records.get(record_id) for record_id in range(highest + 1)]
+        self._free_ids = sorted(
+            (
+                record_id
+                for record_id in range(highest + 1)
+                if record_id not in records
+            ),
+            reverse=True,
+        )
+        self._in_use = len(records)
+
+
+class TokenStore:
+    """Bidirectional name↔id registry for labels, relationship types and
+    property keys (Neo4j's token stores)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._name_to_id: dict[str, int] = {}
+        self._id_to_name: list[str] = []
+
+    def get_or_create(self, token: str) -> int:
+        """Return the id for ``token``, allocating one if needed."""
+        token_id = self._name_to_id.get(token)
+        if token_id is None:
+            token_id = len(self._id_to_name)
+            self._name_to_id[token] = token_id
+            self._id_to_name.append(token)
+        return token_id
+
+    def id_of(self, token: str) -> Optional[int]:
+        """The id for ``token`` or None if it was never created."""
+        return self._name_to_id.get(token)
+
+    def name_of(self, token_id: int) -> str:
+        if 0 <= token_id < len(self._id_to_name):
+            return self._id_to_name[token_id]
+        raise StorageError(f"{self.name}: unknown token id {token_id}")
+
+    def all_tokens(self) -> list[str]:
+        return list(self._id_to_name)
+
+    def restore_tokens(self, tokens: list[str]) -> None:
+        """Replace the registry wholesale (snapshot load)."""
+        self._id_to_name = list(tokens)
+        self._name_to_id = {name: i for i, name in enumerate(tokens)}
+
+    def __len__(self) -> int:
+        return len(self._id_to_name)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._name_to_id

@@ -1,0 +1,28 @@
+"""Transactions: thread-bound lifecycle, state, and commit-time appliers.
+
+Reproduces the transactional context of the paper's query pipeline (§2.1.4,
+Figure 3): every query runs inside a transaction; closing a transaction marked
+successful turns its state into commands that transaction appliers apply to
+the stores, the statistics and — crucially for this paper — the path indexes
+(Algorithm 1).
+
+Write model: *additive* operations (create node/relationship, add label, set
+property) are applied to the store eagerly with an undo log for rollback;
+*destructive* operations (delete relationship/node, remove label) are deferred
+to commit. This gives index maintenance exactly the view Algorithm 1 needs:
+removal queries run while the removed data is still present, addition queries
+run after all data is in place. Like the paper's prototype, concurrent write
+transactions are unsupported; transactions are bound to their opening thread.
+"""
+
+from repro.tx.state import TransactionState
+from repro.tx.transaction import Transaction
+from repro.tx.appliers import TransactionApplier
+from repro.tx.manager import TransactionManager
+
+__all__ = [
+    "Transaction",
+    "TransactionApplier",
+    "TransactionManager",
+    "TransactionState",
+]

@@ -1,0 +1,35 @@
+"""Transaction appliers: commit-time hooks in Algorithm-1 order.
+
+At commit, the transaction invokes each registered applier twice:
+
+1. :meth:`TransactionApplier.before_destructive` — destructive commands are
+   known but not yet applied to the store, so the paths being removed are
+   still traversable. The path index applier runs its *removal* maintenance
+   queries here (Algorithm 1, lines 8–13).
+2. :meth:`TransactionApplier.after_apply` — all commands (additive and
+   destructive) are in the store. The path index applier runs its *addition*
+   maintenance queries here (Algorithm 1, lines 14–18).
+
+Graph statistics are maintained inside :class:`~repro.storage.GraphStore`
+mutations, so no separate statistics applier is needed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.storage.graphstore import GraphStore
+    from repro.tx.state import TransactionState
+
+
+class TransactionApplier:
+    """Base class; subclasses override one or both phases."""
+
+    def before_destructive(
+        self, state: "TransactionState", store: "GraphStore"
+    ) -> None:
+        """Called before deferred destructive commands hit the store."""
+
+    def after_apply(self, state: "TransactionState", store: "GraphStore") -> None:
+        """Called after every command of the transaction is in the store."""

@@ -1,0 +1,76 @@
+"""Thread-bound transaction manager.
+
+Neo4j 3.5 binds a transaction and its state to the opening thread; asking for
+a new transaction on a thread that already has one returns the active one
+(paper §4.1.1). Path index maintenance runs *during* commit on that same
+thread and must not observe the committing transaction's state, so the
+manager provides the paper's work-around explicitly: `suspended()` saves the
+active transaction, installs a fresh read-only view for the duration of the
+maintenance query, and restores the old state afterwards (Algorithm 1,
+lines 6–7 and 19).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.errors import TransactionError
+from repro.tx.transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.graphstore import GraphStore
+    from repro.tx.appliers import TransactionApplier
+
+
+class TransactionManager:
+    """Creates, tracks, and suspends the per-thread active transaction."""
+
+    def __init__(self, store: "GraphStore") -> None:
+        self._store = store
+        self._appliers: list["TransactionApplier"] = []
+        self._local = threading.local()
+
+    def register_applier(self, applier: "TransactionApplier") -> None:
+        self._appliers.append(applier)
+
+    def begin(self) -> Transaction:
+        """Open a transaction bound to the calling thread.
+
+        Unlike Neo4j's silent reuse of the active transaction, nested begins
+        raise: the silent reuse is exactly what broke the paper's maintenance
+        queries, and this prototype inherits the single-writer restriction.
+        """
+        if self.current() is not None:
+            raise TransactionError(
+                "a transaction is already active on this thread "
+                "(concurrent/nested transactions are unsupported, as in the "
+                "paper's prototype)"
+            )
+        tx = Transaction(self._store, manager=self, appliers=self._appliers)
+        self._local.active = tx
+        return tx
+
+    def current(self) -> Optional[Transaction]:
+        """The calling thread's active transaction, if any."""
+        return getattr(self._local, "active", None)
+
+    @contextmanager
+    def suspended(self) -> Iterator[None]:
+        """Temporarily detach the active transaction (Algorithm 1 work-around).
+
+        Inside the block the thread appears transaction-free, so maintenance
+        queries can run in a clean context; the original transaction state is
+        restored on exit no matter what.
+        """
+        saved = self.current()
+        self._local.active = None
+        try:
+            yield
+        finally:
+            self._local.active = saved
+
+    def _transaction_closed(self, tx: Transaction) -> None:
+        if self.current() is tx:
+            self._local.active = None

@@ -1,0 +1,195 @@
+"""Tests for aggregation (count/sum/min/max/avg/collect) and scalar functions."""
+
+import pytest
+
+from repro import GraphDatabase
+from repro.errors import CypherSemanticError, CypherSyntaxError
+from repro.cypher import analyze, parse
+
+
+@pytest.fixture
+def db():
+    db = GraphDatabase()
+    for name, age, city in (
+        ("ada", 36, "london"),
+        ("grace", 85, "nyc"),
+        ("edsger", 72, "nyc"),
+        ("alan", 41, "london"),
+        ("noage", None, "nyc"),
+    ):
+        properties = {"name": name, "city": city}
+        if age is not None:
+            properties["age"] = age
+        db.create_node(["P"], properties)
+    return db
+
+
+def rows(db, query):
+    return db.execute(query).to_list()
+
+
+# ---------------------------------------------------------------------------
+# Global aggregation
+# ---------------------------------------------------------------------------
+
+
+def test_count_star(db):
+    assert rows(db, "MATCH (n:P) RETURN count(*) AS c") == [{"c": 5}]
+
+
+def test_count_expression_skips_nulls(db):
+    assert rows(db, "MATCH (n:P) RETURN count(n.age) AS c") == [{"c": 4}]
+
+
+def test_sum_avg_min_max(db):
+    result = rows(
+        db,
+        "MATCH (n:P) RETURN sum(n.age) AS s, avg(n.age) AS a, "
+        "min(n.age) AS lo, max(n.age) AS hi",
+    )
+    assert result == [{"s": 234, "a": 58.5, "lo": 36, "hi": 85}]
+
+
+def test_collect(db):
+    (row,) = rows(db, "MATCH (n:P) RETURN collect(n.city) AS cities")
+    assert sorted(row["cities"]) == ["london", "london", "nyc", "nyc", "nyc"]
+
+
+def test_count_distinct(db):
+    assert rows(db, "MATCH (n:P) RETURN count(DISTINCT n.city) AS c") == [{"c": 2}]
+
+
+def test_collect_distinct(db):
+    (row,) = rows(db, "MATCH (n:P) RETURN collect(DISTINCT n.city) AS c")
+    assert sorted(row["c"]) == ["london", "nyc"]
+
+
+def test_aggregate_in_arithmetic(db):
+    assert rows(db, "MATCH (n:P) RETURN count(*) + 1 AS c") == [{"c": 6}]
+
+
+def test_empty_input_global_aggregates(db):
+    (row,) = rows(
+        db,
+        "MATCH (n:Nothing) RETURN count(*) AS c, sum(n.age) AS s, "
+        "min(n.age) AS lo, avg(n.age) AS a, collect(n.age) AS xs",
+    )
+    assert row == {"c": 0, "s": 0, "lo": None, "a": None, "xs": []}
+
+
+# ---------------------------------------------------------------------------
+# Grouped aggregation
+# ---------------------------------------------------------------------------
+
+
+def test_group_by_non_aggregate_items(db):
+    result = rows(
+        db,
+        "MATCH (n:P) RETURN n.city AS city, count(*) AS c ORDER BY city",
+    )
+    assert result == [{"city": "london", "c": 2}, {"city": "nyc", "c": 3}]
+
+
+def test_group_by_with_multiple_aggregates(db):
+    result = rows(
+        db,
+        "MATCH (n:P) RETURN n.city AS city, count(n.age) AS known, "
+        "max(n.age) AS oldest ORDER BY city",
+    )
+    assert result == [
+        {"city": "london", "known": 2, "oldest": 41},
+        {"city": "nyc", "known": 2, "oldest": 85},
+    ]
+
+
+def test_grouped_aggregation_zero_rows_yields_no_groups(db):
+    assert rows(db, "MATCH (n:Nothing) RETURN n.city AS c, count(*) AS n") == []
+
+
+def test_order_by_aggregate(db):
+    result = rows(
+        db,
+        "MATCH (n:P) RETURN n.city AS city, count(*) AS c ORDER BY count(*) DESC",
+    )
+    assert [row["city"] for row in result] == ["nyc", "london"]
+
+
+def test_order_by_aggregate_alias(db):
+    result = rows(
+        db,
+        "MATCH (n:P) RETURN n.city AS city, count(*) AS c ORDER BY c DESC",
+    )
+    assert [row["c"] for row in result] == [3, 2]
+
+
+def test_with_aggregation_then_filter(db):
+    # HAVING-style: aggregate in WITH, filter the groups, continue.
+    result = rows(
+        db,
+        "MATCH (n:P) WITH n.city AS city, count(*) AS c WHERE c > 2 "
+        "RETURN city, c",
+    )
+    assert result == [{"city": "nyc", "c": 3}]
+
+
+def test_aggregation_over_pattern(db):
+    ids = [row["n"] for row in rows(db, "MATCH (n:P) RETURN n")]
+    for target in ids[1:4]:
+        db.create_relationship(ids[0], target, "KNOWS")
+    result = rows(
+        db,
+        "MATCH (a:P)-[k:KNOWS]->(b:P) RETURN a.name AS name, count(*) AS friends",
+    )
+    assert result == [{"name": "ada", "friends": 3}]
+
+
+# ---------------------------------------------------------------------------
+# Scalar functions
+# ---------------------------------------------------------------------------
+
+
+def test_id_function(db):
+    result = rows(db, "MATCH (n:P) WHERE n.name = 'ada' RETURN id(n) AS i")
+    assert result == [{"i": 0}]
+
+
+def test_type_function(db):
+    db.create_relationship(0, 1, "KNOWS")
+    result = rows(db, "MATCH (a)-[r]->(b) RETURN type(r) AS t")
+    assert result == [{"t": "KNOWS"}]
+
+
+def test_labels_function(db):
+    node = db.create_node(["X", "A"])
+    result = rows(db, "MATCH (n:X) RETURN labels(n) AS ls")
+    assert result == [{"ls": ["A", "X"]}]
+
+
+def test_size_of_collect(db):
+    result = rows(db, "MATCH (n:P) RETURN size(collect(n.name)) AS s")
+    assert result == [{"s": 5}]
+
+
+def test_scalar_function_in_where(db):
+    result = rows(db, "MATCH (n:P) WHERE id(n) = 1 RETURN n.name AS name")
+    assert result == [{"name": "grace"}]
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+def test_aggregate_in_where_rejected(db):
+    with pytest.raises(CypherSemanticError):
+        analyze(parse("MATCH (n) WHERE count(*) > 1 RETURN n"))
+
+
+def test_nested_aggregates_rejected(db):
+    with pytest.raises(CypherSemanticError):
+        analyze(parse("MATCH (n) RETURN count(sum(n.x)) AS c"))
+
+
+def test_count_star_requires_count(db):
+    with pytest.raises(CypherSyntaxError):
+        parse("MATCH (n) RETURN sum(*) AS s")

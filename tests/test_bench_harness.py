@@ -1,0 +1,146 @@
+"""Tests for the benchmark methodology and reporting helpers."""
+
+import json
+
+import pytest
+
+from repro import GraphDatabase, PlannerHints
+from repro.bench import (
+    Measurement,
+    Methodology,
+    format_bytes,
+    format_ms,
+    format_speedup,
+    render_table,
+    write_report,
+)
+from repro.bench.harness import bench_scale, configured_runs
+from repro.bench.reporting import render_bar_chart
+
+
+@pytest.fixture
+def small_db():
+    db = GraphDatabase()
+    for _ in range(30):
+        a = db.create_node(["A"])
+        b = db.create_node(["B"])
+        db.create_relationship(a, b, "X")
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Methodology (§6.3)
+# ---------------------------------------------------------------------------
+
+
+def test_measure_query_reports_rows_and_cardinality(small_db):
+    methodology = Methodology(small_db, warmup_runs=1, runs=5)
+    measurement = methodology.measure_query(
+        "MATCH (a:A)-[r:X]->(b:B) RETURN a, b"
+    )
+    assert measurement.rows == 30
+    assert measurement.max_intermediate_cardinality >= 30
+    assert 0 < measurement.first_result_s <= measurement.last_result_s
+    assert measurement.runs == 5
+    assert not measurement.cold
+
+
+def test_cold_measurement_flushes_and_charges_io(small_db):
+    methodology = Methodology(small_db, warmup_runs=0, runs=3)
+    flushes_before = small_db.page_cache.stats.flushes
+    cold = methodology.measure_query(
+        "MATCH (a:A)-[r:X]->(b:B) RETURN a, b", cold=True
+    )
+    assert small_db.page_cache.stats.flushes - flushes_before == 3
+    warm = methodology.measure_query("MATCH (a:A)-[r:X]->(b:B) RETURN a, b")
+    assert cold.cold and not warm.cold
+    # Cold runs include simulated I/O, so they can never be cheaper than the
+    # same run's wall clock would be with everything resident.
+    assert cold.last_result_s > 0
+
+
+def test_middle_runs_drop_extremes():
+    samples = [
+        (0.0, 10.0, 1, 1),
+        (0.0, 1.0, 1, 1),
+        (0.0, 2.0, 1, 1),
+        (0.0, 3.0, 1, 1),
+        (0.0, 100.0, 1, 1),
+    ]
+    kept = Methodology._middle_runs(samples)
+    assert [sample[1] for sample in kept] == [2.0, 3.0, 10.0]
+    short = [(0.0, 1.0, 1, 1)]
+    assert Methodology._middle_runs(short) == short
+
+
+def test_measure_callable(small_db):
+    methodology = Methodology(small_db, warmup_runs=0, runs=3)
+    calls = []
+    seconds = methodology.measure_callable(lambda: calls.append(1))
+    assert seconds >= 0
+    assert len(calls) == 3
+
+
+def test_env_knobs(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_RUNS", "7")
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+    assert configured_runs() == 7
+    assert bench_scale() == 0.5
+    monkeypatch.delenv("REPRO_BENCH_RUNS")
+    monkeypatch.delenv("REPRO_BENCH_SCALE")
+    assert configured_runs(3) == 3
+    assert bench_scale() == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+def test_format_helpers():
+    assert format_ms(1.23456) == "1,234.56 ms"
+    assert format_speedup(1.0, 0.5) == "≈ 2.0×"
+    assert format_speedup(100.0, 1.0) == "≈ 100×"
+    assert format_speedup(1.0, 0.0) == "≈ inf"
+    assert format_bytes(3 * 1024 * 1024) == "3.00 MiB"
+
+
+def test_render_table_alignment():
+    table = render_table(
+        "Demo",
+        ("Name", "Value"),
+        [("alpha", "1"), ("b", "2,000")],
+        note="a note",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "== Demo =="
+    assert "Name" in lines[1] and "Value" in lines[1]
+    assert lines[-1] == "a note"
+    # Numeric column right-aligned.
+    assert lines[3].endswith("1")
+    assert lines[4].endswith("2,000")
+
+
+def test_render_bar_chart_log_scale():
+    chart = render_bar_chart(
+        "Chart", {"series": {"small": 1.0, "big": 1000.0}}, unit="ms"
+    )
+    lines = chart.splitlines()
+    small_bar = next(line for line in lines if "small" in line)
+    big_bar = next(line for line in lines if "big" in line)
+    assert big_bar.count("#") > small_bar.count("#")
+    assert "log scale" in lines[0]
+
+
+def test_render_bar_chart_empty():
+    assert "no data" in render_bar_chart("Empty", {"s": {}})
+
+
+def test_write_report_persists_artifacts(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    path = write_report("unit_test_report", "== T ==\nrow", {"a": 1})
+    captured = capsys.readouterr()
+    assert "== T ==" in captured.out
+    assert path.read_text().startswith("== T ==")
+    payload = json.loads((tmp_path / "unit_test_report.json").read_text())
+    assert payload == {"a": 1}

@@ -1,0 +1,258 @@
+"""Unit and property tests for the path-index B+-tree (paper §2.3.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bptree import BPlusTree, entry_size_bytes, prefix_range
+from repro.bptree.keys import validate_key
+from repro.storage import PageCache
+
+
+def make_tree(key_width=3, order=8, cache=None):
+    return BPlusTree(key_width, page_cache=cache, order=order)
+
+
+# ---------------------------------------------------------------------------
+# Key helpers
+# ---------------------------------------------------------------------------
+
+
+def test_entry_size_matches_paper_formula():
+    # A length-k pattern stores 2k+1 identifiers of 8 bytes: 8(2k+1).
+    for k in range(1, 6):
+        assert entry_size_bytes(2 * k + 1) == 8 * (2 * k + 1)
+
+
+def test_validate_key_rejects_bad_width_and_values():
+    with pytest.raises(ValueError):
+        validate_key((1, 2), key_width=3)
+    with pytest.raises(ValueError):
+        validate_key((1, -2, 3), key_width=3)
+    with pytest.raises(ValueError):
+        validate_key((1, "x", 3), key_width=3)
+
+
+def test_prefix_range_bounds():
+    lower, upper = prefix_range((5, 7), key_width=4)
+    assert lower == (5, 7, 0, 0)
+    assert upper == (5, 8, 0, 0)
+    lower, upper = prefix_range((), key_width=2)
+    assert lower == (0, 0)
+    assert (9, 9) < upper
+
+
+def test_prefix_longer_than_width_rejected():
+    with pytest.raises(ValueError):
+        prefix_range((1, 2, 3), key_width=2)
+
+
+# ---------------------------------------------------------------------------
+# Basic operations
+# ---------------------------------------------------------------------------
+
+
+def test_insert_scan_ordering():
+    tree = make_tree()
+    keys = [(3, 1, 1), (1, 2, 2), (2, 0, 9), (1, 2, 1)]
+    for key in keys:
+        assert tree.insert(key)
+    assert list(tree.scan()) == sorted(keys)
+    assert len(tree) == 4
+
+
+def test_duplicate_insert_rejected():
+    tree = make_tree()
+    assert tree.insert((1, 2, 3))
+    assert not tree.insert((1, 2, 3))
+    assert len(tree) == 1
+
+
+def test_contains_and_delete():
+    tree = make_tree()
+    tree.insert((1, 2, 3))
+    assert (1, 2, 3) in tree
+    assert tree.delete((1, 2, 3))
+    assert (1, 2, 3) not in tree
+    assert not tree.delete((1, 2, 3))
+    assert len(tree) == 0
+
+
+def test_first_on_empty_and_filled():
+    tree = make_tree()
+    assert tree.first() is None
+    tree.insert((9, 9, 9))
+    tree.insert((1, 1, 1))
+    assert tree.first() == (1, 1, 1)
+
+
+def test_scan_prefix_selects_exactly_matching_keys():
+    tree = make_tree(key_width=3)
+    for a in range(4):
+        for b in range(4):
+            tree.insert((a, b, a * b))
+    result = list(tree.scan_prefix((2,)))
+    assert result == [(2, 0, 0), (2, 1, 2), (2, 2, 4), (2, 3, 6)]
+    assert list(tree.scan_prefix((2, 3))) == [(2, 3, 6)]
+    assert list(tree.scan_prefix(())) == list(tree.scan())
+    assert tree.count_prefix((2,)) == 4
+
+
+def test_scan_from_bound():
+    tree = make_tree(key_width=2, order=4)
+    for value in range(20):
+        tree.insert((value, value))
+    assert list(tree.scan_from((17, 0))) == [(17, 17), (18, 18), (19, 19)]
+
+
+def test_many_inserts_split_and_stay_sorted():
+    tree = make_tree(key_width=2, order=4)
+    keys = [(i % 7, i) for i in range(500)]
+    random.Random(42).shuffle(keys)
+    for key in keys:
+        tree.insert(key)
+    tree.check_invariants()
+    assert tree.height > 1
+    assert list(tree.scan()) == sorted(keys)
+
+
+def test_delete_everything_collapses_tree():
+    tree = make_tree(key_width=1, order=4)
+    keys = [(i,) for i in range(200)]
+    for key in keys:
+        tree.insert(key)
+    random.Random(7).shuffle(keys)
+    for key in keys:
+        assert tree.delete(key)
+        tree.check_invariants()
+    assert len(tree) == 0
+    assert list(tree.scan()) == []
+    assert tree.height == 1
+
+
+def test_interleaved_insert_delete_keeps_invariants():
+    tree = make_tree(key_width=2, order=6)
+    rng = random.Random(13)
+    model = set()
+    for step in range(1500):
+        key = (rng.randrange(20), rng.randrange(20))
+        if key in model and rng.random() < 0.5:
+            assert tree.delete(key)
+            model.discard(key)
+        else:
+            assert tree.insert(key) == (key not in model)
+            model.add(key)
+        if step % 100 == 0:
+            tree.check_invariants()
+    tree.check_invariants()
+    assert list(tree.scan()) == sorted(model)
+
+
+# ---------------------------------------------------------------------------
+# Sizing and page accounting
+# ---------------------------------------------------------------------------
+
+
+def test_size_accounting():
+    cache = PageCache(page_size=256)
+    tree = BPlusTree(key_width=3, page_cache=cache, file_name="idx")
+    for i in range(100):
+        tree.insert((i, i, i))
+    assert tree.total_data_size() == 100 * 24
+    assert tree.size_on_disk() >= tree.total_data_size()
+    assert tree.size_on_disk() % 256 == 0
+
+
+def test_scans_touch_page_cache():
+    cache = PageCache(page_size=128)
+    tree = BPlusTree(key_width=2, page_cache=cache, file_name="idx")
+    for i in range(200):
+        tree.insert((i, i))
+    cache.flush()
+    before = cache.stats.snapshot()
+    list(tree.scan())
+    delta = cache.stats.delta_since(before)
+    assert delta.misses > 1  # cold scan faults in every leaf page
+
+    cache_stats_before = cache.stats.snapshot()
+    list(tree.scan())
+    warm = cache.stats.delta_since(cache_stats_before)
+    assert warm.misses == 0  # warm scan is fully cached
+
+
+def test_prefix_seek_touches_fewer_pages_than_full_scan():
+    cache = PageCache(page_size=128)
+    tree = BPlusTree(key_width=2, page_cache=cache, file_name="idx")
+    for i in range(500):
+        tree.insert((i, i))
+    cache.flush()
+    before = cache.stats.snapshot()
+    list(tree.scan_prefix((250,)))
+    seek_misses = cache.stats.delta_since(before).misses
+    cache.flush()
+    before = cache.stats.snapshot()
+    list(tree.scan())
+    scan_misses = cache.stats.delta_since(before).misses
+    assert seek_misses < scan_misses
+
+
+def test_bad_configuration_rejected():
+    with pytest.raises(ValueError):
+        BPlusTree(key_width=0)
+    with pytest.raises(ValueError):
+        BPlusTree(key_width=2, order=2)
+
+
+# ---------------------------------------------------------------------------
+# Property-based: tree behaves like a sorted set
+# ---------------------------------------------------------------------------
+
+key_strategy = st.tuples(
+    st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30)
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "delete"]), key_strategy), max_size=200
+    )
+)
+def test_tree_matches_sorted_set_model(ops):
+    tree = BPlusTree(key_width=2, order=4)
+    model = set()
+    for action, key in ops:
+        if action == "insert":
+            assert tree.insert(key) == (key not in model)
+            model.add(key)
+        else:
+            assert tree.delete(key) == (key in model)
+            model.discard(key)
+    tree.check_invariants()
+    assert list(tree.scan()) == sorted(model)
+    assert len(tree) == len(model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.sets(key_strategy, max_size=120),
+    prefix=st.integers(min_value=0, max_value=30),
+)
+def test_prefix_scan_matches_filter(keys, prefix):
+    tree = BPlusTree(key_width=2, order=4)
+    for key in keys:
+        tree.insert(key)
+    expected = sorted(key for key in keys if key[0] == prefix)
+    assert list(tree.scan_prefix((prefix,))) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=st.sets(key_strategy, max_size=120), bound=key_strategy)
+def test_scan_from_matches_filter(keys, bound):
+    tree = BPlusTree(key_width=2, order=4)
+    for key in keys:
+        tree.insert(key)
+    expected = sorted(key for key in keys if key >= bound)
+    assert list(tree.scan_from(bound)) == expected

@@ -1,0 +1,235 @@
+"""Unit tests for the Cypher lexer and parser."""
+
+import pytest
+
+from repro.cypher import ast, parse, tokenize
+from repro.cypher.lexer import TokenType
+from repro.errors import CypherSyntaxError
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+
+def token_types(text):
+    return [t.type for t in tokenize(text)][:-1]  # drop EOF
+
+
+def test_keywords_are_case_insensitive():
+    tokens = tokenize("match RETURN Where")
+    assert [t.text for t in tokens[:-1]] == ["MATCH", "RETURN", "WHERE"]
+    assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+
+def test_identifiers_preserve_case():
+    tokens = tokenize("myVar Person")
+    assert [t.text for t in tokens[:-1]] == ["myVar", "Person"]
+
+
+def test_comparison_operators():
+    assert token_types("< <= > >= = <>") == [
+        TokenType.LT,
+        TokenType.LE,
+        TokenType.GT,
+        TokenType.GE,
+        TokenType.EQ,
+        TokenType.NEQ,
+    ]
+
+
+def test_numbers_and_strings():
+    tokens = tokenize("42 3.25 'hi' \"there\"")
+    assert tokens[0].type is TokenType.INTEGER and tokens[0].text == "42"
+    assert tokens[1].type is TokenType.FLOAT and tokens[1].text == "3.25"
+    assert tokens[2].type is TokenType.STRING and tokens[2].text == "hi"
+    assert tokens[3].type is TokenType.STRING and tokens[3].text == "there"
+
+
+def test_string_escapes():
+    tokens = tokenize(r"'a\'b'")
+    assert tokens[0].text == "a'b"
+
+
+def test_comments_skipped():
+    assert token_types("MATCH // a comment\nRETURN") == [
+        TokenType.KEYWORD,
+        TokenType.KEYWORD,
+    ]
+
+
+def test_backtick_identifier():
+    tokens = tokenize("`weird name`")
+    assert tokens[0].type is TokenType.IDENT
+    assert tokens[0].text == "weird name"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(CypherSyntaxError):
+        tokenize("'oops")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(CypherSyntaxError):
+        tokenize("MATCH ~")
+
+
+# ---------------------------------------------------------------------------
+# Parser: patterns
+# ---------------------------------------------------------------------------
+
+
+def single_match(query):
+    parsed = parse(query)
+    clause = parsed.clauses[0]
+    assert isinstance(clause, ast.MatchClause)
+    return clause
+
+
+def test_parse_simple_node():
+    clause = single_match("MATCH (n) RETURN n")
+    pattern = clause.patterns[0]
+    assert len(pattern.elements) == 1
+    node = pattern.elements[0]
+    assert node.variable == "n"
+    assert node.labels == ()
+
+
+def test_parse_labeled_path():
+    clause = single_match(
+        "MATCH (alice:Person)-[likes:Likes]->(bob:Person) RETURN alice"
+    )
+    nodes = clause.patterns[0].nodes()
+    rels = clause.patterns[0].relationships()
+    assert [n.variable for n in nodes] == ["alice", "bob"]
+    assert nodes[0].labels == ("Person",)
+    assert rels[0].variable == "likes"
+    assert rels[0].types == ("Likes",)
+    assert rels[0].direction is ast.RelDirection.LEFT_TO_RIGHT
+
+
+def test_parse_reverse_and_undirected_arrows():
+    clause = single_match("MATCH (a)<-[r:T]-(b)-[s]-(c) RETURN a")
+    rels = clause.patterns[0].relationships()
+    assert rels[0].direction is ast.RelDirection.RIGHT_TO_LEFT
+    assert rels[1].direction is ast.RelDirection.UNDIRECTED
+    assert rels[1].types == ()
+
+
+def test_parse_bare_arrows():
+    clause = single_match("MATCH (a)-->(b)<--(c) RETURN a")
+    rels = clause.patterns[0].relationships()
+    assert rels[0].direction is ast.RelDirection.LEFT_TO_RIGHT
+    assert rels[0].variable is None
+    assert rels[1].direction is ast.RelDirection.RIGHT_TO_LEFT
+
+
+def test_parse_paper_query():
+    # The correlated-data query from §7.1.1 of the paper.
+    query = """
+        MATCH (a:A)-[w:X]->(b:A)-[x:X]->(c:A)-[y:Y]->(d:B)-[z:X]->(e:A)
+        RETURN *;
+    """
+    parsed = parse(query)
+    match = parsed.clauses[0]
+    assert isinstance(match, ast.MatchClause)
+    assert len(match.patterns[0].nodes()) == 5
+    assert len(match.patterns[0].relationships()) == 4
+    return_clause = parsed.clauses[1]
+    assert isinstance(return_clause, ast.ReturnClause)
+    assert return_clause.star
+
+
+def test_parse_multiple_patterns_per_match():
+    clause = single_match("MATCH (a)-->(b), (b)-->(c) RETURN a")
+    assert len(clause.patterns) == 2
+
+
+def test_parse_multiple_labels_and_types():
+    clause = single_match("MATCH (a:X:Y)-[r:S|T]->(b) RETURN a")
+    assert clause.patterns[0].nodes()[0].labels == ("X", "Y")
+    assert clause.patterns[0].relationships()[0].types == ("S", "T")
+
+
+def test_parse_node_properties():
+    clause = single_match("MATCH (a {name: 'x', age: 3}) RETURN a")
+    props = clause.patterns[0].nodes()[0].properties
+    assert props["name"] == ast.Literal("x")
+    assert props["age"] == ast.Literal(3)
+
+
+# ---------------------------------------------------------------------------
+# Parser: clauses and expressions
+# ---------------------------------------------------------------------------
+
+
+def test_parse_where_expression():
+    clause = single_match("MATCH (a)-->(b) WHERE a.prop = b.prop RETURN a")
+    where = clause.where
+    assert isinstance(where, ast.Comparison)
+    assert where.op is ast.ComparisonOp.EQ
+    assert where.left == ast.PropertyAccess("a", "prop")
+
+
+def test_parse_boolean_precedence():
+    clause = single_match("MATCH (a) WHERE a.x = 1 OR a.y = 2 AND a.z = 3 RETURN a")
+    where = clause.where
+    assert isinstance(where, ast.BooleanOp) and where.op == "OR"
+    assert isinstance(where.right, ast.BooleanOp) and where.right.op == "AND"
+
+
+def test_parse_not_and_label_predicate():
+    clause = single_match("MATCH (a) WHERE NOT a:Person RETURN a")
+    assert isinstance(clause.where, ast.Not)
+    assert clause.where.operand == ast.HasLabel("a", "Person")
+
+
+def test_parse_arithmetic_precedence():
+    parsed = parse("MATCH (a) RETURN a.x + a.y * 2 AS v")
+    item = parsed.clauses[1].items[0]
+    assert isinstance(item.expression, ast.Arithmetic)
+    assert item.expression.op == "+"
+    assert item.alias == "v"
+
+
+def test_parse_with_boundary():
+    parsed = parse("MATCH (a)-->(b) WITH a, b WHERE a.x = 1 MATCH (b)-->(c) RETURN c")
+    with_clause = parsed.clauses[1]
+    assert isinstance(with_clause, ast.WithClause)
+    assert [item.output_name for item in with_clause.items] == ["a", "b"]
+    assert with_clause.where is not None
+
+
+def test_parse_return_modifiers():
+    parsed = parse("MATCH (a) RETURN DISTINCT a ORDER BY a.x DESC SKIP 2 LIMIT 5")
+    ret = parsed.clauses[1]
+    assert ret.distinct
+    assert ret.limit == 5
+    assert ret.skip == 2
+    assert len(ret.order_by) == 1
+    assert ret.order_by[0][1] is False  # descending
+
+
+def test_parse_create_and_delete():
+    parsed = parse("CREATE (a:Person)-[r:KNOWS]->(b:Person)")
+    create = parsed.clauses[0]
+    assert isinstance(create, ast.CreateClause)
+    parsed = parse("MATCH (a)-[r]->(b) DELETE r")
+    delete = parsed.clauses[1]
+    assert isinstance(delete, ast.DeleteClause)
+    assert not delete.detach
+
+
+def test_parse_errors():
+    with pytest.raises(CypherSyntaxError):
+        parse("")
+    with pytest.raises(CypherSyntaxError):
+        parse("MATCH (a RETURN a")
+    with pytest.raises(CypherSyntaxError):
+        parse("MATCH (a)-[r]->(b) RETURN a; MATCH (x) RETURN x")
+    with pytest.raises(CypherSyntaxError):
+        parse("FROB (a)")
+    with pytest.raises(CypherSyntaxError):
+        parse("MATCH (a)<-[r]->(b) RETURN a")
+    with pytest.raises(CypherSyntaxError):
+        parse("OPTIONAL MATCH (a) RETURN a")

@@ -1,0 +1,184 @@
+"""Unit tests for expression evaluation (Cypher three-valued logic)."""
+
+import pytest
+
+from repro.cypher import ast, parse
+from repro.cypher.semantics import VariableKind
+from repro.errors import ReproError
+from repro.runtime.expressions import EvaluationContext, evaluate, is_true
+from repro.runtime.row import Row
+from repro.storage import GraphStore
+
+
+@pytest.fixture
+def ctx():
+    store = GraphStore()
+    kinds = {"n": VariableKind.NODE, "r": VariableKind.RELATIONSHIP}
+    return store, EvaluationContext(store, kinds)
+
+
+def expr(text: str) -> ast.Expression:
+    """Parse the WHERE expression of a probe query."""
+    query = parse(f"MATCH (n) WHERE {text} RETURN n")
+    return query.clauses[0].where
+
+
+def value(text: str, row=None, ctx=None):
+    evaluation = ctx[1] if ctx else EvaluationContext(GraphStore(), {})
+    return evaluate(expr(text), row or Row.empty(), evaluation)
+
+
+# ---------------------------------------------------------------------------
+# Literals and arithmetic
+# ---------------------------------------------------------------------------
+
+
+def test_literals():
+    assert value("1 = 1") is True
+    assert value("TRUE") is True
+    assert value("FALSE") is False
+    assert value("NULL") is None
+    assert value("'a' = 'a'") is True
+
+
+def test_arithmetic():
+    assert value("1 + 2 = 3") is True
+    assert value("2 * 3 + 1 = 7") is True
+    assert value("7 % 3 = 1") is True
+    assert value("6 / 2 = 3") is True
+    assert value("1.5 + 1.5 = 3.0") is True
+    assert value("-2 + 5 = 3") is True
+    assert value("'a' + 'b' = 'ab'") is True
+
+
+def test_arithmetic_errors():
+    with pytest.raises(ReproError):
+        value("1 / 0 = 1")
+    with pytest.raises(ReproError):
+        value("1 % 0 = 1")
+    with pytest.raises(ReproError):
+        value("1 + 'x' = 2")
+
+
+def test_arithmetic_with_null_is_null():
+    assert value("1 + NULL = 2") is None
+
+
+# ---------------------------------------------------------------------------
+# Comparisons and NULL propagation
+# ---------------------------------------------------------------------------
+
+
+def test_comparison_operators():
+    assert value("1 < 2") is True
+    assert value("2 <= 2") is True
+    assert value("3 > 2") is True
+    assert value("3 >= 4") is False
+    assert value("1 <> 2") is True
+
+
+def test_null_comparisons_are_null():
+    for text in ("NULL = 1", "NULL <> 1", "NULL < 1", "NULL = NULL"):
+        assert value(text) is None, text
+
+
+def test_cross_type_equality_is_false_not_error():
+    assert value("1 = 'one'") is False
+    assert value("1 <> 'one'") is True
+    assert value("TRUE = 1") is False  # booleans are not numbers
+
+
+def test_cross_type_ordering_is_null():
+    assert value("1 < 'a'") is None
+    assert value("TRUE < 2") is None
+
+
+def test_numeric_int_float_comparison():
+    assert value("1 = 1.0") is True
+    assert value("1 < 1.5") is True
+
+
+# ---------------------------------------------------------------------------
+# Boolean connectives (three-valued)
+# ---------------------------------------------------------------------------
+
+
+def test_and_truth_table():
+    assert value("TRUE AND TRUE") is True
+    assert value("TRUE AND FALSE") is False
+    assert value("FALSE AND NULL") is False  # short-circuit semantics
+    assert value("TRUE AND NULL") is None
+    assert value("NULL AND NULL") is None
+
+
+def test_or_truth_table():
+    assert value("TRUE OR NULL") is True
+    assert value("FALSE OR NULL") is None
+    assert value("FALSE OR FALSE") is False
+
+
+def test_xor_truth_table():
+    assert value("TRUE XOR FALSE") is True
+    assert value("TRUE XOR TRUE") is False
+    assert value("TRUE XOR NULL") is None
+
+
+def test_not():
+    assert value("NOT TRUE") is False
+    assert value("NOT NULL") is None
+    assert value("NOT (1 = 2)") is True
+
+
+def test_is_true_only_on_exact_true(ctx):
+    store, evaluation = ctx
+    assert is_true(expr("TRUE"), Row.empty(), evaluation)
+    assert not is_true(expr("NULL"), Row.empty(), evaluation)
+    assert not is_true(expr("FALSE"), Row.empty(), evaluation)
+
+
+# ---------------------------------------------------------------------------
+# Entity access
+# ---------------------------------------------------------------------------
+
+
+def test_node_property_access(ctx):
+    store, evaluation = ctx
+    node = store.create_node()
+    store.set_node_property(node, store.property_keys.get_or_create("v"), 42)
+    row = Row({"n": node})
+    assert evaluate(expr("n.v = 42"), row, evaluation) is True
+    assert evaluate(expr("n.missing = 42"), row, evaluation) is None
+
+
+def test_relationship_property_access(ctx):
+    store, evaluation = ctx
+    a, b = store.create_node(), store.create_node()
+    rel = store.create_relationship(a, b, store.types.get_or_create("T"))
+    store.set_relationship_property(
+        rel, store.property_keys.get_or_create("w"), 0.5
+    )
+    row = Row({"r": rel})
+    assert evaluate(expr("r.w = 0.5"), row, evaluation) is True
+
+
+def test_property_access_on_unbound_is_null(ctx):
+    store, evaluation = ctx
+    assert evaluate(expr("n.v = 1"), Row.empty(), evaluation) is None
+
+
+def test_has_label_predicate(ctx):
+    store, evaluation = ctx
+    node = store.create_node([store.labels.get_or_create("P")])
+    row = Row({"n": node})
+    assert evaluate(expr("n:P"), row, evaluation) is True
+    assert evaluate(expr("n:Q"), row, evaluation) is False
+    assert evaluate(expr("n:P"), Row.empty(), evaluation) is None
+
+
+def test_property_of_value_variable_raises():
+    store = GraphStore()
+    evaluation = EvaluationContext(store, {})  # 'n' has no entity kind
+    node = store.create_node()
+    store.set_node_property(node, store.property_keys.get_or_create("v"), 1)
+    with pytest.raises(ReproError):
+        evaluate(expr("n.v = 1"), Row({"n": node}), evaluation)

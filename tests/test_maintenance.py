@@ -1,0 +1,233 @@
+"""Tests for query-based path index maintenance (Algorithm 1) including a
+property-based differential check against full re-initialization."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import GraphDatabase, PlannerHints
+from repro.pathindex.maintenance import TRAVERSAL_BASED, traverse_pattern
+from repro.db.patternquery import Anchor, NodeAnchor
+from repro.pathindex.pattern import PathPattern
+
+
+def build_chain_db(strategy="query"):
+    db = GraphDatabase(maintenance_strategy=strategy)
+    rows = []
+    for _ in range(6):
+        a = db.create_node(["A"])
+        b = db.create_node(["B"])
+        c = db.create_node(["A"])
+        r1 = db.create_relationship(a, b, "X")
+        r2 = db.create_relationship(b, c, "Y")
+        rows.append((a, r1, b, r2, c))
+    return db, rows
+
+
+@pytest.mark.parametrize("strategy", ["query", "traversal"])
+def test_relationship_deletion_removes_paths(strategy):
+    db, rows = build_chain_db(strategy)
+    db.create_path_index("full", "(:A)-[:X]->(:B)-[:Y]->(:A)")
+    a, r1, b, r2, c = rows[0]
+    db.delete_relationship(r1)
+    assert db.path_index("full").cardinality == 5
+    assert db.verify_index("full")
+
+
+@pytest.mark.parametrize("strategy", ["query", "traversal"])
+def test_relationship_addition_adds_paths(strategy):
+    db, rows = build_chain_db(strategy)
+    db.create_path_index("full", "(:A)-[:X]->(:B)-[:Y]->(:A)")
+    # A second X into an existing b creates one more path.
+    new_a = db.create_node(["A"])
+    _, _, b, _, _ = rows[0]
+    db.create_relationship(new_a, b, "X")
+    assert db.path_index("full").cardinality == 7
+    assert db.verify_index("full")
+
+
+def test_middle_relationship_update_affects_multiple_paths():
+    db = GraphDatabase()
+    # Two X edges into b, two Y edges out: deleting one X removes 2 paths.
+    b = db.create_node(["B"])
+    for _ in range(2):
+        a = db.create_node(["A"])
+        db.create_relationship(a, b, "X")
+    y_rels = []
+    for _ in range(2):
+        c = db.create_node(["A"])
+        y_rels.append(db.create_relationship(b, c, "Y"))
+    db.create_path_index("full", "(:A)-[:X]->(:B)-[:Y]->(:A)")
+    assert db.path_index("full").cardinality == 4
+    db.delete_relationship(y_rels[0])
+    assert db.path_index("full").cardinality == 2
+    assert db.verify_index("full")
+
+
+def test_label_addition_and_removal_maintenance():
+    db = GraphDatabase()
+    a = db.create_node([])  # not yet :A
+    b = db.create_node(["B"])
+    db.create_relationship(a, b, "X")
+    db.create_path_index("i", "(:A)-[:X]->(:B)")
+    assert db.path_index("i").cardinality == 0
+    db.add_label(a, "A")
+    assert db.path_index("i").cardinality == 1
+    assert db.verify_index("i")
+    db.remove_label(a, "A")
+    assert db.path_index("i").cardinality == 0
+    assert db.verify_index("i")
+
+
+def test_node_creation_and_deletion_do_not_touch_indexes():
+    db, _ = build_chain_db()
+    db.create_path_index("full", "(:A)-[:X]->(:B)-[:Y]->(:A)")
+    before = db.path_index("full").cardinality
+    node = db.create_node(["A"])
+    assert db.path_index("full").cardinality == before
+    with db.begin() as tx:
+        tx.delete_node(node)
+        tx.success()
+    assert db.path_index("full").cardinality == before
+
+
+def test_multiple_indexes_maintained_together():
+    db, rows = build_chain_db()
+    db.create_path_index("sub", "(:A)-[:X]->(:B)")
+    db.create_path_index("full", "(:A)-[:X]->(:B)-[:Y]->(:A)")
+    a, r1, b, r2, c = rows[0]
+    db.delete_relationship(r1)
+    assert db.verify_index("sub")
+    assert db.verify_index("full")
+    report = db.maintainer.last_report
+    assert set(report) == {"sub", "full"}
+    assert all(seconds >= 0 for seconds in report.values())
+
+
+def test_sub_index_can_assist_full_index_maintenance():
+    db, rows = build_chain_db()
+    db.create_path_index("sub", "(:B)-[:Y]->(:A)")
+    db.create_path_index("full", "(:A)-[:X]->(:B)-[:Y]->(:A)")
+    db.maintainer.hints = PlannerHints(required_indexes=frozenset({"sub"}))
+    a, r1, b, r2, c = rows[0]
+    db.delete_relationship(r1)
+    assert db.verify_index("full")
+    assert db.verify_index("sub")
+    db.create_relationship(a, b, "X")
+    assert db.verify_index("full")
+    assert db.verify_index("sub")
+
+
+def test_rollback_leaves_indexes_untouched():
+    db, rows = build_chain_db()
+    db.create_path_index("full", "(:A)-[:X]->(:B)-[:Y]->(:A)")
+    with db.begin() as tx:
+        tx.delete_relationship(rows[0][1])
+        # no success: rollback
+    assert db.path_index("full").cardinality == 6
+    assert db.verify_index("full")
+
+
+def test_add_and_delete_same_relationship_in_one_tx():
+    db, rows = build_chain_db()
+    db.create_path_index("full", "(:A)-[:X]->(:B)-[:Y]->(:A)")
+    _, _, b, _, _ = rows[0]
+    new_a = db.create_node(["A"])
+    with db.begin() as tx:
+        rel = tx.create_relationship(new_a, b, db.relationship_type("X"))
+        tx.delete_relationship(rel)
+        tx.success()
+    assert db.path_index("full").cardinality == 6
+    assert db.verify_index("full")
+
+
+def test_mixed_direction_pattern_maintenance():
+    db = GraphDatabase()
+    a = db.create_node(["A"])
+    b = db.create_node(["B"])
+    c = db.create_node(["C"])
+    db.create_relationship(a, b, "X")
+    rel = db.create_relationship(c, b, "Y")  # pattern reads (b)<-[:Y]-(c)
+    db.create_path_index("mixed", "(:A)-[:X]->(:B)<-[:Y]-(:C)")
+    assert db.path_index("mixed").cardinality == 1
+    db.delete_relationship(rel)
+    assert db.path_index("mixed").cardinality == 0
+    assert db.verify_index("mixed")
+    db.create_relationship(c, b, "Y")
+    assert db.path_index("mixed").cardinality == 1
+    assert db.verify_index("mixed")
+
+
+# ---------------------------------------------------------------------------
+# Traversal translation (De Jong method 1) equals the query-based results
+# ---------------------------------------------------------------------------
+
+
+def test_traverse_pattern_rel_anchor():
+    db, rows = build_chain_db()
+    pattern = PathPattern.parse("(:A)-[:X]->(:B)-[:Y]->(:A)")
+    a, r1, b, r2, c = rows[0]
+    found = list(traverse_pattern(db.store, pattern, Anchor(0, r1, a, b)))
+    assert found == [(a, r1, b, r2, c)]
+    found = list(traverse_pattern(db.store, pattern, Anchor(1, r2, b, c)))
+    assert found == [(a, r1, b, r2, c)]
+
+
+def test_traverse_pattern_node_anchor():
+    db, rows = build_chain_db()
+    pattern = PathPattern.parse("(:A)-[:X]->(:B)-[:Y]->(:A)")
+    a, r1, b, r2, c = rows[0]
+    assert list(traverse_pattern(db.store, pattern, NodeAnchor(1, b))) == [
+        (a, r1, b, r2, c)
+    ]
+    # An anchor that fails the label check yields nothing.
+    assert list(traverse_pattern(db.store, pattern, NodeAnchor(0, b))) == []
+
+
+# ---------------------------------------------------------------------------
+# Property-based differential test: random mutations, indexes stay exact
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    strategy=st.sampled_from(["query", "traversal"]),
+)
+def test_random_mutations_keep_indexes_consistent(seed, strategy):
+    rng = random.Random(seed)
+    db = GraphDatabase(maintenance_strategy=strategy)
+    labels = ["A", "B"]
+    types = ["X", "Y"]
+    nodes = [db.create_node([rng.choice(labels)]) for _ in range(8)]
+    rels: list[int] = []
+    for _ in range(12):
+        rels.append(
+            db.create_relationship(
+                rng.choice(nodes), rng.choice(nodes), rng.choice(types)
+            )
+        )
+    db.create_path_index("one", "(:A)-[:X]->(:B)")
+    db.create_path_index("two", "(:A)-[:X]->(:B)-[:Y]->(:A)")
+    db.create_path_index("rev", "(:B)<-[:X]-(:A)")
+    for _ in range(15):
+        action = rng.random()
+        if action < 0.35 and rels:
+            victim = rels.pop(rng.randrange(len(rels)))
+            db.delete_relationship(victim)
+        elif action < 0.7:
+            rels.append(
+                db.create_relationship(
+                    rng.choice(nodes), rng.choice(nodes), rng.choice(types)
+                )
+            )
+        elif action < 0.85:
+            db.add_label(rng.choice(nodes), rng.choice(labels))
+        else:
+            node = rng.choice(nodes)
+            label = rng.choice(labels)
+            db.remove_label(node, label)
+    for name in ("one", "two", "rev"):
+        assert db.verify_index(name), f"index {name} diverged (seed={seed})"

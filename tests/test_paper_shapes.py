@@ -1,0 +1,141 @@
+"""Fast shape checks of the paper's headline results at unit-test scale.
+
+The full regeneration lives in `benchmarks/`; these tests pin the *logical*
+shapes (cardinality relations, plan quality orderings) at a scale small
+enough for the regular test suite, so a regression in any subsystem that
+would distort a table is caught by `pytest tests/` alone.
+"""
+
+import pytest
+
+from repro import GraphDatabase, PlannerHints
+from repro.datasets import (
+    CorrelatedConfig,
+    GeoSpeciesConfig,
+    YagoConfig,
+    correlated,
+    generate_correlated,
+    generate_geospecies,
+    generate_yago,
+    geospecies,
+    yago,
+)
+
+BASELINE = PlannerHints(use_path_indexes=False)
+
+
+def forced(name):
+    return PlannerHints(
+        required_indexes=frozenset({name}),
+        allowed_indexes=frozenset({name}),
+        path_index_cost_factor=1e-9,
+    )
+
+
+@pytest.fixture(scope="module")
+def correlated_db():
+    db = GraphDatabase()
+    data = generate_correlated(db, CorrelatedConfig(paths=60, noise_factor=8))
+    db.create_path_index("Full", correlated.FULL_PATTERN)
+    db.create_path_index("Sub1", correlated.SUB_PATTERNS["Sub1"])
+    db.create_path_index("Sub6", correlated.SUB_PATTERNS["Sub6"])
+    return db, data
+
+
+def test_table1_shape_full_index_collapses_intermediate(correlated_db):
+    db, data = correlated_db
+    baseline = db.execute(correlated.FULL_QUERY, BASELINE)
+    baseline_rows = len(baseline.to_list())
+    indexed = db.execute(correlated.FULL_QUERY, forced("Full"))
+    indexed_rows = len(indexed.to_list())
+    assert baseline_rows == indexed_rows == data.config.paths
+    assert indexed.max_intermediate_cardinality == data.config.paths
+    assert baseline.max_intermediate_cardinality > 5 * data.config.paths
+
+
+def test_table3_shape_selective_vs_noise_indexes(correlated_db):
+    db, data = correlated_db
+    sub1 = db.execute(correlated.FULL_QUERY, forced("Sub1"))
+    sub1.consume()
+    sub6 = db.execute(correlated.FULL_QUERY, forced("Sub6"))
+    sub6.consume()
+    assert sub1.max_intermediate_cardinality == data.config.paths
+    assert sub6.max_intermediate_cardinality > 5 * data.config.paths
+
+
+def test_table2_shape_index_cardinalities(correlated_db):
+    db, data = correlated_db
+    expected = data.expected_cardinalities()
+    assert db.path_index("Full").cardinality == expected["Full"]
+    assert db.path_index("Sub1").cardinality == expected["Sub1"]
+    assert db.path_index("Sub6").cardinality == expected["Sub6"]
+
+
+def test_table10_shape_yago_orderings():
+    db = GraphDatabase()
+    config = YagoConfig(
+        settlements=8,
+        owning_settlements=3,
+        persons=800,
+        born_per_other=10,
+        celebrity_in_affiliations=40,
+        hub_artifacts_per_owned=3,
+        hub_pool=10,
+        targets_per_hub=5,
+        core_artifacts=60,
+        core_noise_edges=900,
+        junk_settlements=5,
+        junk_owned_per_settlement=40,
+    )
+    data = generate_yago(db, config)
+    db.create_path_index("Full", yago.FULL_PATTERN)
+    baseline = db.execute(yago.FULL_QUERY, BASELINE)
+    baseline_rows = len(baseline.to_list())
+    manual = db.execute(
+        yago.FULL_QUERY,
+        PlannerHints(use_path_indexes=False, manual_expand_chain=yago.MANUAL_CHAIN),
+    )
+    manual_rows = len(manual.to_list())
+    full = db.execute(yago.FULL_QUERY, PlannerHints(index_seed_chain=("Full", ())))
+    full_rows = len(full.to_list())
+    assert baseline_rows == manual_rows == full_rows == data.expected_full_cardinality
+    assert (
+        full.max_intermediate_cardinality
+        <= manual.max_intermediate_cardinality
+        <= baseline.max_intermediate_cardinality
+    )
+    assert full.max_intermediate_cardinality == data.expected_full_cardinality
+
+
+def test_table11_shape_geospecies_no_skipping():
+    db = GraphDatabase()
+    generate_geospecies(
+        db, GeoSpeciesConfig(species=60, locations=15, expected_per_species=2)
+    )
+    db.create_path_index("Full", geospecies.FULL_PATTERN)
+    db.create_path_index("Sub", geospecies.SUB_PATTERN)
+    results = {}
+    for name, hints in (
+        ("Baseline", BASELINE),
+        ("Full", forced("Full")),
+        ("Sub", forced("Sub")),
+    ):
+        result = db.execute(geospecies.FULL_QUERY, hints)
+        rows = len(result.to_list())
+        results[name] = (rows, result.max_intermediate_cardinality)
+    row_counts = {rows for rows, _ in results.values()}
+    assert len(row_counts) == 1
+    count = row_counts.pop()
+    assert count > 0
+    for name, (rows, interm) in results.items():
+        assert interm >= count, name  # nothing can skip the result set
+
+
+def test_full_index_equals_query_answer_geospecies():
+    db = GraphDatabase()
+    generate_geospecies(
+        db, GeoSpeciesConfig(species=40, locations=10, expected_per_species=2)
+    )
+    db.create_path_index("Full", geospecies.FULL_PATTERN)
+    answer = len(db.execute(geospecies.FULL_QUERY, BASELINE).to_list())
+    assert db.path_index("Full").cardinality == answer

@@ -1,0 +1,160 @@
+"""Tests for partially materialized path indexes (§4.1)."""
+
+import pytest
+
+from repro import GraphDatabase, PlannerHints
+from repro.errors import PathIndexError, PlannerError
+from repro.pathindex.partial import PartialPathIndex
+
+
+def build_db():
+    """Selective anchors (:S) pointing into a broad (:A)-[:X]->(:B) layer."""
+    db = GraphDatabase()
+    anchors, a_nodes = [], []
+    for i in range(4):
+        anchor = db.create_node(["S"], {"i": i})
+        a = db.create_node(["A"])
+        anchors.append(anchor)
+        a_nodes.append(a)
+        db.create_relationship(anchor, a, "R")
+        for _ in range(3):
+            b = db.create_node(["B"])
+            db.create_relationship(a, b, "X")
+    for _ in range(30):  # decoys the partial index should never materialize
+        a = db.create_node(["A"])
+        b = db.create_node(["B"])
+        db.create_relationship(a, b, "X")
+    db.create_path_index("px", "(:A)-[:X]->(:B)", partial=True)
+    return db, anchors, a_nodes
+
+
+QUERY = "MATCH (s:S)-[r:R]->(a:A)-[x:X]->(b:B) RETURN s, a, b"
+FORCED = PlannerHints(
+    required_indexes=frozenset({"px"}),
+    allowed_indexes=frozenset({"px"}),
+    path_index_cost_factor=1e-9,
+)
+BASELINE = PlannerHints(use_path_indexes=False)
+
+
+def test_partial_index_starts_empty():
+    db, _, _ = build_db()
+    index = db.path_index("px")
+    assert isinstance(index, PartialPathIndex)
+    assert index.cardinality == 0
+    assert index.materialized_start_count == 0
+    assert not index.supports_full_scan
+
+
+def test_full_scan_is_refused():
+    db, _, _ = build_db()
+    with pytest.raises(PathIndexError):
+        list(db.path_index("px").scan())
+
+
+def test_prefix_seek_materializes_on_demand():
+    db, anchors, a_nodes = build_db()
+    rows = db.execute(QUERY, FORCED).to_list()
+    baseline = db.execute(QUERY, BASELINE).to_list()
+    assert sorted(map(str, rows)) == sorted(map(str, baseline))
+    index = db.path_index("px")
+    # Only the 4 anchored A-nodes were materialized — never the 30 decoys.
+    assert index.materialized_start_count == 4
+    assert index.cardinality == 12
+    assert db.verify_index("px")
+
+
+def test_second_seek_serves_from_tree():
+    db, anchors, a_nodes = build_db()
+    db.execute(QUERY, FORCED).consume()
+    index = db.path_index("px")
+    added = index.materialize_start(a_nodes[0], db.store)
+    assert added == 0  # already materialized
+
+
+def test_planner_never_offers_full_scan_of_partial_index():
+    db, _, _ = build_db()
+    # The exact-match query could use PathIndexScan on a full index; for a
+    # partial one the planner must not, so forcing it on the bare pattern
+    # (no bound prefix) fails.
+    with pytest.raises(PlannerError):
+        db.explain("MATCH (a:A)-[x:X]->(b:B) RETURN a", FORCED)
+
+
+def test_maintenance_only_touches_materialized_starts():
+    db, anchors, a_nodes = build_db()
+    db.execute(QUERY, FORCED).consume()
+    index = db.path_index("px")
+    before = index.cardinality
+    # Addition at a materialized start is picked up...
+    b_new = db.create_node(["B"])
+    db.create_relationship(a_nodes[0], b_new, "X")
+    assert index.cardinality == before + 1
+    # ...while additions at unmaterialized starts are ignored (recomputed on
+    # demand later).
+    decoy_a = db.create_node(["A"])
+    decoy_b = db.create_node(["B"])
+    db.create_relationship(decoy_a, decoy_b, "X")
+    assert index.cardinality == before + 1
+    assert db.verify_index("px")
+
+
+def test_maintenance_removals_apply():
+    db, anchors, a_nodes = build_db()
+    db.execute(QUERY, FORCED).consume()
+    index = db.path_index("px")
+    rel = next(iter(db.store.relationships_of(a_nodes[0]))).id
+    # delete one of a materialized start's X relationships
+    victim = next(
+        r.id
+        for r in db.store.relationships_of(a_nodes[0])
+        if db.store.types.name_of(r.type_id) == "X"
+    )
+    before = index.cardinality
+    db.delete_relationship(victim)
+    assert index.cardinality == before - 1
+    assert db.verify_index("px")
+
+
+def test_results_stay_correct_after_mutation():
+    db, anchors, a_nodes = build_db()
+    db.execute(QUERY, FORCED).consume()
+    b_new = db.create_node(["B"])
+    db.create_relationship(a_nodes[1], b_new, "X")
+    forced = db.execute(QUERY, FORCED).to_list()
+    baseline = db.execute(QUERY, BASELINE).to_list()
+    assert sorted(map(str, forced)) == sorted(map(str, baseline))
+
+
+def test_evict_start():
+    db, anchors, a_nodes = build_db()
+    db.execute(QUERY, FORCED).consume()
+    index = db.path_index("px")
+    removed = index.evict_start(a_nodes[0])
+    assert removed == 3
+    assert not index.is_materialized(a_nodes[0])
+    # The next query transparently re-materializes it.
+    rows = db.execute(QUERY, FORCED).to_list()
+    assert len(rows) == 12
+
+
+def test_partial_index_snapshot_roundtrip(tmp_path):
+    from repro.db.snapshot import load_snapshot, save_snapshot
+
+    db, anchors, a_nodes = build_db()
+    db.execute(QUERY, FORCED).consume()
+    save_snapshot(db, tmp_path / "snap")
+    restored = load_snapshot(tmp_path / "snap")
+    index = restored.path_index("px")
+    assert isinstance(index, PartialPathIndex)
+    assert index.materialized_start_count == 4
+    assert index.cardinality == 12
+    rows = restored.execute(QUERY, FORCED).to_list()
+    assert len(rows) == 12
+    assert restored.verify_index("px")
+
+
+def test_prepare_prefix_requires_nonempty():
+    db, _, _ = build_db()
+    with pytest.raises(PathIndexError):
+        db.path_index("px").prepare_prefix((), db.store)

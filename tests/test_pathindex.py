@@ -1,0 +1,311 @@
+"""Unit tests for path patterns, indexes, the store, and index matching."""
+
+import pytest
+
+from repro import GraphDatabase, PathPattern
+from repro.errors import PathIndexError, PatternSyntaxError
+from repro.pathindex import PathIndex, PathIndexStore
+from repro.pathindex.pattern import PatternRelationship
+from repro.planner.index_match import find_index_matches
+from repro.cypher import analyze, parse
+from repro.querygraph import build_query_parts
+
+
+# ---------------------------------------------------------------------------
+# PathPattern
+# ---------------------------------------------------------------------------
+
+
+def test_parse_basic_pattern():
+    pattern = PathPattern.parse("(:A)-[:X]->(:B)")
+    assert pattern.labels == ("A", "B")
+    assert pattern.relationships == (PatternRelationship("X", True),)
+    assert pattern.length == 1
+    assert pattern.key_width == 3
+
+
+def test_parse_mixed_direction_pattern():
+    pattern = PathPattern.parse("(:A)-[:X]->(:B)<-[:Y]-(:C)")
+    assert pattern.relationships[0].forward
+    assert not pattern.relationships[1].forward
+
+
+def test_parse_unlabeled_and_untyped():
+    pattern = PathPattern.parse("()-[:T]->()")
+    assert pattern.labels == (None, None)
+    pattern = PathPattern.parse("(a)-[r]->(b)")
+    assert pattern.relationships[0].type is None
+
+
+def test_parse_rejects_invalid_patterns():
+    with pytest.raises(PatternSyntaxError):
+        PathPattern.parse("(:A)")  # no relationship
+    with pytest.raises(PatternSyntaxError):
+        PathPattern.parse("(:A)-[:X]-(:B)")  # undirected
+    with pytest.raises(PatternSyntaxError):
+        PathPattern.parse("(:A:B)-[:X]->(:C)")  # two labels on one node
+    with pytest.raises(PatternSyntaxError):
+        PathPattern.parse("(:A)-[:X|Y]->(:C)")  # two types
+    with pytest.raises(PatternSyntaxError):
+        PathPattern.parse("not a pattern")
+
+
+def test_pattern_roundtrip_through_str():
+    text = "(:A)-[:X]->(:A)-[:X]->(:A)-[:Y]->(:B)-[:X]->(:A)"
+    pattern = PathPattern.parse(text)
+    assert str(pattern) == text
+    assert PathPattern.parse(str(pattern)) == pattern
+
+
+def test_reversed_is_involution():
+    pattern = PathPattern.parse("(:A)-[:X]->(:B)<-[:Y]-(:C)")
+    assert pattern.reversed().reversed() == pattern
+    assert str(pattern.reversed()) == "(:C)-[:Y]->(:B)<-[:X]-(:A)"
+
+
+def test_sub_patterns_enumeration():
+    pattern = PathPattern.parse("(:A)-[:X]->(:B)-[:Y]->(:C)-[:Z]->(:D)")
+    subs = [str(s) for s in pattern.sub_patterns()]
+    assert subs == [
+        "(:A)-[:X]->(:B)-[:Y]->(:C)",
+        "(:B)-[:Y]->(:C)-[:Z]->(:D)",
+        "(:A)-[:X]->(:B)",
+        "(:B)-[:Y]->(:C)",
+        "(:C)-[:Z]->(:D)",
+    ]
+
+
+def test_sub_pattern_bounds():
+    pattern = PathPattern.parse("(:A)-[:X]->(:B)")
+    with pytest.raises(PatternSyntaxError):
+        pattern.sub_pattern(0, 2)
+    with pytest.raises(PatternSyntaxError):
+        pattern.sub_pattern(1, 1)
+
+
+def test_contains_step_direction_awareness():
+    pattern = PathPattern.parse("(:A)-[:X]->(:B)<-[:Y]-(:C)")
+    # The Y step runs C -> B in the data even though the pattern reads B <- C.
+    assert pattern.contains_step("Y", frozenset({"C"}), frozenset({"B"}))
+    assert not pattern.contains_step("Y", frozenset({"B"}), frozenset({"C"}))
+    assert pattern.contains_step("X", frozenset({"A"}), frozenset({"B"}))
+
+
+def test_step_positions_for_repeated_steps():
+    pattern = PathPattern.parse("(:A)-[:X]->(:A)-[:X]->(:A)")
+    positions = pattern.step_positions_for(
+        "X", frozenset({"A"}), frozenset({"A"})
+    )
+    assert positions == [0, 1]
+
+
+# ---------------------------------------------------------------------------
+# PathIndex and PathIndexStore
+# ---------------------------------------------------------------------------
+
+
+def test_index_add_remove_scan():
+    index = PathIndex("i", PathPattern.parse("(:A)-[:X]->(:B)"))
+    assert index.add((1, 10, 2))
+    assert not index.add((1, 10, 2))
+    assert (1, 10, 2) in index
+    assert index.cardinality == 1
+    assert list(index.scan()) == [(1, 10, 2)]
+    assert index.remove((1, 10, 2))
+    assert not index.remove((1, 10, 2))
+
+
+def test_index_rejects_wrong_width():
+    index = PathIndex("i", PathPattern.parse("(:A)-[:X]->(:B)"))
+    with pytest.raises(PathIndexError):
+        index.add((1, 2))
+
+
+def test_index_prefix_scan():
+    index = PathIndex("i", PathPattern.parse("(:A)-[:X]->(:B)"))
+    index.add((1, 10, 2))
+    index.add((1, 11, 3))
+    index.add((2, 12, 4))
+    assert list(index.scan_prefix((1,))) == [(1, 10, 2), (1, 11, 3)]
+    assert index.count_prefix((2,)) == 1
+
+
+def test_store_lifecycle():
+    store = PathIndexStore()
+    store.create("a", PathPattern.parse("(:A)-[:X]->(:B)"))
+    assert "a" in store
+    assert len(store) == 1
+    with pytest.raises(PathIndexError):
+        store.create("a", PathPattern.parse("(:A)-[:X]->(:B)"))
+    store.drop("a")
+    assert "a" not in store
+    with pytest.raises(PathIndexError):
+        store.drop("a")
+    with pytest.raises(PathIndexError):
+        store.get("a")
+
+
+def test_store_affected_by_relationship_sorted_by_length():
+    store = PathIndexStore()
+    store.create("long", PathPattern.parse("(:A)-[:X]->(:B)-[:Y]->(:C)"))
+    store.create("short", PathPattern.parse("(:A)-[:X]->(:B)"))
+    store.create("unrelated", PathPattern.parse("(:Q)-[:Z]->(:Q)"))
+    hits = store.affected_by_relationship("X", frozenset({"A"}), frozenset({"B"}))
+    assert [index.name for index in hits] == ["short", "long"]
+
+
+def test_store_affected_by_label():
+    store = PathIndexStore()
+    store.create("one", PathPattern.parse("(:A)-[:X]->(:B)"))
+    store.create("two", PathPattern.parse("(:C)-[:X]->(:D)"))
+    assert [i.name for i in store.affected_by_label("A")] == ["one"]
+    assert [i.name for i in store.affected_by_label("Z")] == []
+
+
+def test_type_scan_index_lookup():
+    store = PathIndexStore()
+    store.create("labeled", PathPattern.parse("(:A)-[:T]->(:B)"))
+    assert store.type_scan_index("T") is None
+    store.create("type:T", PathPattern.parse("()-[:T]->()"))
+    assert store.type_scan_index("T").name == "type:T"
+    assert store.type_scan_index("U") is None
+
+
+# ---------------------------------------------------------------------------
+# Index matching against query graphs
+# ---------------------------------------------------------------------------
+
+
+def query_graph(text):
+    (part,) = build_query_parts(analyze(parse(text)))
+    return part.query_graph
+
+
+def test_exact_match():
+    graph = query_graph("MATCH (a:A)-[r:X]->(b:B) RETURN a")
+    matches = find_index_matches(
+        graph, {"i": PathPattern.parse("(:A)-[:X]->(:B)")}
+    )
+    assert len(matches) == 1
+    assert matches[0].entry_vars == ("a", "r", "b")
+    assert not matches[0].has_residual_filters
+
+
+def test_index_label_must_be_guaranteed():
+    graph = query_graph("MATCH (a)-[r:X]->(b:B) RETURN a")
+    matches = find_index_matches(
+        graph, {"i": PathPattern.parse("(:A)-[:X]->(:B)")}
+    )
+    assert matches == []  # index requires :A, query does not guarantee it
+
+
+def test_query_extra_label_becomes_residual_filter():
+    graph = query_graph("MATCH (a:A:Extra)-[r:X]->(b:B) RETURN a")
+    matches = find_index_matches(
+        graph, {"i": PathPattern.parse("(:A)-[:X]->(:B)")}
+    )
+    assert len(matches) == 1
+    assert matches[0].label_filters == (("a", "Extra"),)
+
+
+def test_untyped_index_over_typed_query_needs_type_filter():
+    graph = query_graph("MATCH (a:A)-[r:X]->(b:B) RETURN a")
+    matches = find_index_matches(graph, {"i": PathPattern.parse("(:A)-[]->(:B)")})
+    assert len(matches) == 1
+    assert matches[0].type_filters == (("r", frozenset({"X"})),)
+
+
+def test_typed_index_cannot_cover_untyped_query():
+    graph = query_graph("MATCH (a:A)-[r]->(b:B) RETURN a")
+    matches = find_index_matches(graph, {"i": PathPattern.parse("(:A)-[:X]->(:B)")})
+    assert matches == []
+
+
+def test_direction_must_align():
+    graph = query_graph("MATCH (a:A)<-[r:X]-(b:B) RETURN a")
+    matches = find_index_matches(graph, {"i": PathPattern.parse("(:A)-[:X]->(:B)")})
+    assert matches == []
+    matches = find_index_matches(graph, {"i": PathPattern.parse("(:B)-[:X]->(:A)")})
+    assert len(matches) == 1
+    assert matches[0].entry_vars == ("b", "r", "a")
+
+
+def test_backward_step_matches_reverse_arrow():
+    graph = query_graph("MATCH (a:A)-[r:X]->(b:B)<-[s:Y]-(c:C) RETURN a")
+    matches = find_index_matches(
+        graph, {"i": PathPattern.parse("(:A)-[:X]->(:B)<-[:Y]-(:C)")}
+    )
+    assert len(matches) == 1
+    assert matches[0].entry_vars == ("a", "r", "b", "s", "c")
+
+
+def test_longer_pattern_embeds_in_longer_query():
+    graph = query_graph(
+        "MATCH (a:A)-[r:X]->(b:A)-[s:X]->(c:A)-[t:X]->(d:A) RETURN a"
+    )
+    matches = find_index_matches(graph, {"i": PathPattern.parse("(:A)-[:X]->(:A)")})
+    assert len(matches) == 3  # r, s, t each
+
+
+def test_undirected_query_rel_never_matched():
+    graph = query_graph("MATCH (a:A)-[r:X]-(b:B) RETURN a")
+    matches = find_index_matches(graph, {"i": PathPattern.parse("(:A)-[:X]->(:B)")})
+    assert matches == []
+
+
+def test_rel_used_at_most_once_per_embedding():
+    graph = query_graph("MATCH (a:A)-[r:X]->(b:A) RETURN a")
+    matches = find_index_matches(
+        graph, {"i": PathPattern.parse("(:A)-[:X]->(:A)-[:X]->(:A)")}
+    )
+    assert matches == []  # only one X relationship available
+
+
+def test_allowed_filter():
+    graph = query_graph("MATCH (a:A)-[r:X]->(b:B) RETURN a")
+    patterns = {"i": PathPattern.parse("(:A)-[:X]->(:B)")}
+    assert find_index_matches(graph, patterns, allowed=[]) == []
+    assert len(find_index_matches(graph, patterns, allowed=["i"])) == 1
+
+
+# ---------------------------------------------------------------------------
+# Initialization (Algorithm 2) and verification
+# ---------------------------------------------------------------------------
+
+
+def test_initialization_populates_from_existing_data():
+    db = GraphDatabase()
+    pairs = []
+    for _ in range(10):
+        a = db.create_node(["A"])
+        b = db.create_node(["B"])
+        rel = db.create_relationship(a, b, "X")
+        pairs.append((a, rel, b))
+    stats = db.create_path_index("i", "(:A)-[:X]->(:B)")
+    assert stats.cardinality == 10
+    assert stats.total_data_size == 10 * 24
+    assert stats.seconds >= 0
+    assert set(db.path_index("i").scan()) == set(pairs)
+    assert db.verify_index("i")
+
+
+def test_initialization_may_use_other_indexes():
+    db = GraphDatabase()
+    for _ in range(5):
+        a = db.create_node(["A"])
+        b = db.create_node(["B"])
+        c = db.create_node(["C"])
+        db.create_relationship(a, b, "X")
+        db.create_relationship(b, c, "Y")
+    db.create_path_index("sub", "(:A)-[:X]->(:B)")
+    stats = db.create_path_index("full", "(:A)-[:X]->(:B)-[:Y]->(:C)")
+    assert stats.cardinality == 5
+    assert db.verify_index("full")
+
+
+def test_unpopulated_index_registration():
+    db = GraphDatabase()
+    db.create_node(["A"])
+    stats = db.create_path_index("i", "(:A)-[:X]->(:B)", populate=False)
+    assert stats.cardinality == 0
+    assert db.path_index("i").cardinality == 0

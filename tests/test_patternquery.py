@@ -1,0 +1,129 @@
+"""Tests for the internal pattern-query machinery (Algorithms 1/2 substrate)."""
+
+import pytest
+
+from repro import GraphDatabase, PlannerHints
+from repro.cypher.semantics import VariableKind
+from repro.db.patternquery import (
+    Anchor,
+    NodeAnchor,
+    anchors_for_relationship,
+    build_pattern_part,
+    entry_variables,
+    run_pattern_query,
+)
+from repro.pathindex.pattern import PathPattern
+
+
+@pytest.fixture
+def db():
+    db = GraphDatabase()
+    for _ in range(3):
+        a = db.create_node(["A"])
+        b = db.create_node(["B"])
+        c = db.create_node(["C"])
+        db.create_relationship(a, b, "X")
+        db.create_relationship(c, b, "Y")  # pattern reads (b)<-[:Y]-(c)
+    return db
+
+
+PATTERN = PathPattern.parse("(:A)-[:X]->(:B)<-[:Y]-(:C)")
+
+
+def test_entry_variables_order():
+    assert entry_variables(PATTERN) == ["n0", "r0", "n1", "r1", "n2"]
+
+
+def test_build_pattern_part_structure():
+    part, kinds = build_pattern_part(PATTERN)
+    graph = part.query_graph
+    assert set(graph.nodes) == {"n0", "n1", "n2"}
+    assert graph.nodes["n0"].labels == frozenset({"A"})
+    # The backward step is normalized: (n2) -Y-> (n1).
+    rel = graph.relationships["r1"]
+    assert (rel.start, rel.end) == ("n2", "n1")
+    assert kinds["r0"] is VariableKind.RELATIONSHIP
+    assert not graph.arguments
+
+
+def test_build_pattern_part_with_anchor_arguments():
+    part, _ = build_pattern_part(PATTERN, Anchor(0, 99, 1, 2))
+    assert part.query_graph.arguments == frozenset({"n0", "r0", "n1"})
+    part, _ = build_pattern_part(PATTERN, NodeAnchor(2, 7))
+    assert part.query_graph.arguments == frozenset({"n2"})
+
+
+def test_unanchored_query_finds_all_occurrences(db):
+    entries, _ = run_pattern_query(db.store, db.indexes, PATTERN)
+    assert len(list(entries)) == 3
+
+
+def test_rel_anchor_restricts_to_paths_through_relationship(db):
+    rel_id = next(iter(db.store.all_relationships()))
+    record = db.store.relationship(rel_id)
+    anchor = Anchor(0, rel_id, record.start_node, record.end_node)
+    entries = list(run_pattern_query(db.store, db.indexes, PATTERN, anchor)[0])
+    assert len(entries) == 1
+    assert entries[0][1] == rel_id
+
+
+def test_node_anchor_restricts_to_paths_through_node(db):
+    some_b = next(iter(db.store.nodes_with_label(db.label("B"))))
+    anchor = NodeAnchor(1, some_b)
+    entries = list(run_pattern_query(db.store, db.indexes, PATTERN, anchor)[0])
+    assert len(entries) == 1
+    assert entries[0][2] == some_b
+
+
+def test_anchored_query_respects_hints(db):
+    db.create_path_index("helper", "(:B)<-[:Y]-(:C)".replace("<-", "<-"))
+    rel_id = next(iter(db.store.all_relationships()))
+    record = db.store.relationship(rel_id)
+    anchor = Anchor(0, rel_id, record.start_node, record.end_node)
+    hints = PlannerHints(forbidden_indexes=frozenset({"helper"}))
+    entries = list(
+        run_pattern_query(db.store, db.indexes, PATTERN, anchor, hints)[0]
+    )
+    assert len(entries) == 1
+
+
+def test_anchors_for_relationship_direction_awareness():
+    # The Y step is backwards: data direction C -> B; anchoring a Y rel maps
+    # source/target onto the pattern's node positions accordingly.
+    anchors = anchors_for_relationship(
+        PATTERN,
+        rel_id=5,
+        type_name="Y",
+        start_id=30,  # C-node (data-direction start)
+        end_id=20,  # B-node
+        start_labels=frozenset({"C"}),
+        end_labels=frozenset({"B"}),
+    )
+    assert anchors == [Anchor(position=1, rel_id=5, source_id=20, target_id=30)]
+
+
+def test_anchors_for_relationship_multiple_positions():
+    pattern = PathPattern.parse("(:A)-[:X]->(:A)-[:X]->(:A)")
+    anchors = anchors_for_relationship(
+        pattern,
+        rel_id=1,
+        type_name="X",
+        start_id=10,
+        end_id=11,
+        start_labels=frozenset({"A"}),
+        end_labels=frozenset({"A"}),
+    )
+    assert [anchor.position for anchor in anchors] == [0, 1]
+
+
+def test_anchors_for_non_matching_relationship():
+    anchors = anchors_for_relationship(
+        PATTERN,
+        rel_id=1,
+        type_name="Z",
+        start_id=1,
+        end_id=2,
+        start_labels=frozenset({"A"}),
+        end_labels=frozenset({"B"}),
+    )
+    assert anchors == []

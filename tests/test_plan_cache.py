@@ -1,0 +1,105 @@
+"""Tests for the §4.1.1 query (plan) cache."""
+
+import pytest
+
+from repro import GraphDatabase, PlannerHints
+from repro.db.plancache import PlanCache
+
+
+@pytest.fixture
+def db():
+    db = GraphDatabase()
+    for _ in range(20):
+        a = db.create_node(["A"])
+        b = db.create_node(["B"])
+        db.create_relationship(a, b, "X")
+    return db
+
+
+def test_repeated_query_hits_cache(db):
+    query = "MATCH (a:A)-[r:X]->(b:B) RETURN a"
+    db.execute(query).consume()
+    assert db.plan_cache.misses >= 1
+    hits_before = db.plan_cache.hits
+    db.execute(query).consume()
+    assert db.plan_cache.hits == hits_before + 1
+
+
+def test_different_hints_cache_separately(db):
+    query = "MATCH (a:A)-[r:X]->(b:B) RETURN a"
+    db.execute(query).consume()
+    db.execute(query, PlannerHints(use_path_indexes=False)).consume()
+    assert db.plan_cache.hits == 0
+    assert len(db.plan_cache) == 2
+
+
+def test_index_creation_invalidates(db):
+    query = "MATCH (a:A)-[r:X]->(b:B) RETURN a"
+    db.execute(query).consume()
+    db.create_path_index("i", "(:A)-[:X]->(:B)")
+    result = db.execute(query)
+    result.consume()
+    assert db.plan_cache.invalidations >= 1
+    # The re-planned query now uses the index when it wins the cost race.
+    assert len(db.execute(query).to_list()) == 20
+
+
+def test_statistics_drift_invalidates(db):
+    query = "MATCH (a:A)-[r:X]->(b:B) RETURN a"
+    db.execute(query).consume()
+    # Grow the graph by far more than the drift threshold.
+    for _ in range(60):
+        a = db.create_node(["A"])
+        b = db.create_node(["B"])
+        db.create_relationship(a, b, "X")
+    db.execute(query).consume()
+    assert db.plan_cache.invalidations >= 1
+
+
+def test_small_drift_keeps_entry(db):
+    query = "MATCH (a:A)-[r:X]->(b:B) RETURN a"
+    db.execute(query).consume()
+    db.create_node(["A"])  # 1 node in 40: far below 25%
+    db.execute(query).consume()
+    assert db.plan_cache.hits >= 1
+
+
+def test_cached_plan_returns_fresh_results(db):
+    query = "MATCH (a:A)-[r:X]->(b:B) RETURN a"
+    first = len(db.execute(query).to_list())
+    # Small addition (keeps the cache entry) must still appear in results.
+    a, b = db.create_node(["A"]), db.create_node(["B"])
+    db.create_relationship(a, b, "X")
+    assert len(db.execute(query).to_list()) == first + 1
+
+
+def test_lru_capacity_bound():
+    cache = PlanCache(capacity=2)
+    for position in range(4):
+        cache.store((f"q{position}", None), _entry())
+    assert len(cache) == 2
+    with pytest.raises(ValueError):
+        PlanCache(capacity=0)
+
+
+def test_maintenance_bypasses_cache(db):
+    db.create_path_index("i", "(:A)-[:X]->(:B)")
+    before = (db.plan_cache.hits, db.plan_cache.misses, len(db.plan_cache))
+    a, b = db.create_node(["A"]), db.create_node(["B"])
+    db.create_relationship(a, b, "X")  # triggers Algorithm 1 queries
+    after = (db.plan_cache.hits, db.plan_cache.misses, len(db.plan_cache))
+    assert before == after  # the maintenance queries never touched the cache
+    assert db.verify_index("i")
+
+
+def _entry():
+    from repro.db.plancache import CachedQuery
+
+    return CachedQuery(
+        analyzed=None,
+        planned_parts=[],
+        columns=[],
+        node_count=0,
+        relationship_count=0,
+        index_signature=frozenset(),
+    )

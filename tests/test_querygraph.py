@@ -1,0 +1,154 @@
+"""Unit tests for query-graph construction and component splitting (§2.2)."""
+
+import pytest
+
+from repro.cypher import analyze, ast, parse
+from repro.errors import CypherSemanticError
+from repro.querygraph import build_query_parts
+
+
+def parts_of(text):
+    return build_query_parts(analyze(parse(text)))
+
+
+def test_single_pattern_builds_nodes_and_relationships():
+    (part,) = parts_of("MATCH (a:A)-[r:R]->(b) RETURN a")
+    graph = part.query_graph
+    assert set(graph.nodes) == {"a", "b"}
+    assert graph.nodes["a"].labels == frozenset({"A"})
+    rel = graph.relationships["r"]
+    assert (rel.start, rel.end) == ("a", "b")
+    assert rel.types == frozenset({"R"})
+    assert rel.directed
+
+
+def test_reverse_arrow_normalized():
+    (part,) = parts_of("MATCH (a)<-[r:R]-(b) RETURN a")
+    rel = part.query_graph.relationships["r"]
+    assert (rel.start, rel.end) == ("b", "a")
+
+
+def test_undirected_relationship():
+    (part,) = parts_of("MATCH (a)-[r:R]-(b) RETURN a")
+    assert not part.query_graph.relationships["r"].directed
+
+
+def test_anonymous_variables_get_fresh_names():
+    (part,) = parts_of("MATCH (a)-->()-->(b) RETURN a")
+    graph = part.query_graph
+    assert len(graph.nodes) == 3
+    assert len(graph.relationships) == 2
+    anonymous = [name for name in graph.nodes if name.startswith("  ")]
+    assert len(anonymous) == 1
+
+
+def test_multiple_match_clauses_merge_into_one_graph():
+    (part,) = parts_of(
+        "MATCH (a:A)-[r:R]->(b) MATCH (b)-->(a) MATCH (b)-->(c) RETURN a"
+    )
+    graph = part.query_graph
+    assert set(graph.nodes) == {"a", "b", "c"}
+    assert len(graph.relationships) == 3
+
+
+def test_node_labels_accumulate_across_clauses():
+    (part,) = parts_of("MATCH (a:A)-->(b) MATCH (a:B)-->(c) RETURN a")
+    assert part.query_graph.nodes["a"].labels == frozenset({"A", "B"})
+
+
+def test_where_label_predicate_folded_into_node():
+    (part,) = parts_of("MATCH (a)-->(b) WHERE a:Person RETURN a")
+    graph = part.query_graph
+    assert graph.nodes["a"].labels == frozenset({"Person"})
+    assert graph.selections == []
+
+
+def test_where_conjuncts_split():
+    (part,) = parts_of(
+        "MATCH (a)-->(b) WHERE a.x = 1 AND b.y = 2 AND a.z <> b.z RETURN a"
+    )
+    assert len(part.query_graph.selections) == 3
+
+
+def test_inline_properties_become_selections():
+    (part,) = parts_of("MATCH (a {name: 'x'})-[r {w: 1}]->(b) RETURN a")
+    selections = part.query_graph.selections
+    assert len(selections) == 2
+    assert all(isinstance(s, ast.Comparison) for s in selections)
+
+
+def test_with_boundary_splits_parts():
+    parts = parts_of(
+        "MATCH (a:A)-[r:R]->(b) WITH a, r MATCH (s)-->(t) "
+        "WHERE s.prop = r.prop RETURN a, r, s, t"
+    )
+    assert len(parts) == 2
+    first, second = parts
+    assert not first.is_final
+    assert [item.output_name for item in first.projection] == ["a", "r"]
+    assert second.query_graph.arguments == frozenset({"a", "r"})
+    assert set(second.query_graph.nodes) == {"s", "t"}
+    assert second.is_final
+
+
+def test_figure2_query_components():
+    # The query of Figure 2: one part with two connected components.
+    (part, part2) = parts_of(
+        """
+        MATCH (a:A)-[r:R]->(b)
+        MATCH (b)-->(a)
+        MATCH (b)-->(c)
+        WHERE a.prop = b.prop
+        WITH a, r
+        MATCH (s)-->(t)
+        WHERE s.prop = r.prop
+        RETURN a, r, s, t
+        """
+    )
+    components = part.query_graph.connected_components()
+    assert len(components) == 1  # a, b, c all connected
+    assert len(part2.query_graph.connected_components()) == 1
+
+
+def test_disconnected_patterns_become_components():
+    (part,) = parts_of("MATCH (a)-->(b), (c)-->(d) RETURN a")
+    components = part.query_graph.connected_components()
+    assert len(components) == 2
+    sizes = sorted(len(c.nodes) for c in components)
+    assert sizes == [2, 2]
+
+
+def test_selection_attached_to_covering_component():
+    (part,) = parts_of("MATCH (a)-->(b), (c)-->(d) WHERE c.x = 1 RETURN a")
+    components = part.query_graph.connected_components()
+    with_selection = [c for c in components if c.selections]
+    assert len(with_selection) == 1
+    assert "c" in with_selection[0].nodes
+
+
+def test_cross_component_selection_stays_unattached():
+    (part,) = parts_of("MATCH (a)-->(b), (c)-->(d) WHERE a.x = c.x RETURN a")
+    components = part.query_graph.connected_components()
+    assert all(not c.selections for c in components)
+    assert len(part.query_graph.selections) == 1
+
+
+def test_create_actions():
+    (part,) = parts_of("CREATE (a:Person {name: 'x'})-[r:KNOWS]->(b:Person)")
+    kinds = [action.kind for action in part.updates]
+    # Endpoint nodes are created before the relationship connecting them.
+    assert kinds == ["create_node", "create_node", "create_relationship"]
+    rel_action = part.updates[2]
+    assert rel_action.type == "KNOWS"
+    assert (rel_action.start, rel_action.end) == ("a", "b")
+
+
+def test_delete_action():
+    (part,) = parts_of("MATCH (a)-[r]->(b) DELETE r")
+    assert part.updates[-1].kind == "delete"
+    assert part.updates[-1].variable == "r"
+
+
+def test_match_after_write_requires_boundary():
+    with pytest.raises(CypherSemanticError):
+        parts_of("CREATE (a:X) MATCH (b) RETURN b")

@@ -1,0 +1,146 @@
+"""Snapshot save/load roundtrip tests."""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, PlannerHints
+from repro.db.snapshot import load_snapshot, save_snapshot
+from repro.errors import StorageError
+
+
+def build_rich_db() -> GraphDatabase:
+    rng = random.Random(3)
+    db = GraphDatabase(dense_node_threshold=10)
+    nodes = []
+    for i in range(30):
+        labels = rng.sample(["A", "B", "C"], rng.randrange(0, 3))
+        nodes.append(db.create_node(labels, {"v": i, "name": f"n{i}"}))
+    hub = nodes[0]
+    for _ in range(15):  # force densification of the hub
+        db.create_relationship(hub, rng.choice(nodes[1:]), "X")
+    for _ in range(40):
+        rel = db.create_relationship(
+            rng.choice(nodes), rng.choice(nodes), rng.choice(["X", "Y"])
+        )
+        db.store.set_relationship_property(
+            rel, db.property_key("w"), rng.random()
+        )
+    # Delete some entities so the snapshot has id gaps.
+    victims = list(db.store.all_relationships())[5:8]
+    for victim in victims:
+        db.delete_relationship(victim)
+    lonely = db.create_node(["A"])
+    with db.begin() as tx:
+        tx.delete_node(lonely)
+        tx.success()
+    db.create_path_index("ix", "(:A)-[:X]->(:B)")
+    db.create_path_index("iy", "()-[:Y]->()")
+    return db
+
+
+def query_fingerprint(db):
+    rows = db.execute(
+        "MATCH (a:A)-[x:X]->(b) RETURN a, b, a.v AS v"
+    ).to_list()
+    return sorted(tuple(sorted(row.items())) for row in rows)
+
+
+def test_roundtrip_preserves_everything(tmp_path):
+    db = build_rich_db()
+    save_snapshot(db, tmp_path / "snap")
+    restored = load_snapshot(tmp_path / "snap")
+
+    # Statistics identical.
+    assert restored.store.statistics.node_count == db.store.statistics.node_count
+    assert (
+        restored.store.statistics.relationship_count
+        == db.store.statistics.relationship_count
+    )
+    assert (
+        restored.store.statistics.nodes_by_label
+        == db.store.statistics.nodes_by_label
+    )
+    assert (
+        restored.store.statistics.rels_by_start_label_type
+        == db.store.statistics.rels_by_start_label_type
+    )
+    # Node and relationship ids preserved exactly.
+    assert list(restored.store.all_nodes()) == list(db.store.all_nodes())
+    assert list(restored.store.all_relationships()) == list(
+        db.store.all_relationships()
+    )
+    # Properties preserved.
+    for node_id in db.store.all_nodes():
+        assert restored.store.node_properties(node_id) == db.store.node_properties(
+            node_id
+        )
+    # Dense node structure preserved.
+    hub = next(iter(db.store.all_nodes()))
+    assert restored.store.node(hub).dense == db.store.node(hub).dense
+    assert restored.store.degree(hub) == db.store.degree(hub)
+    # Query results identical.
+    assert query_fingerprint(restored) == query_fingerprint(db)
+    # Indexes restored verbatim and still exact.
+    for name in ("ix", "iy"):
+        assert set(restored.path_index(name).scan()) == set(
+            db.path_index(name).scan()
+        )
+        assert restored.verify_index(name)
+
+
+def test_restored_db_accepts_new_writes_and_maintains_indexes(tmp_path):
+    db = build_rich_db()
+    save_snapshot(db, tmp_path / "snap")
+    restored = load_snapshot(tmp_path / "snap")
+    a = restored.create_node(["A"])
+    b = restored.create_node(["B"])
+    before = restored.path_index("ix").cardinality
+    restored.create_relationship(a, b, "X")
+    assert restored.path_index("ix").cardinality == before + 1
+    assert restored.verify_index("ix")
+    # Freed ids are reused rather than colliding.
+    assert a not in list(db.store.all_nodes()) or restored.store.node_exists(a)
+
+
+def test_id_reuse_after_restore_fills_gaps(tmp_path):
+    db = GraphDatabase()
+    ids = [db.create_node() for _ in range(5)]
+    with db.begin() as tx:
+        tx.delete_node(ids[2])
+        tx.success()
+    save_snapshot(db, tmp_path / "snap")
+    restored = load_snapshot(tmp_path / "snap")
+    assert restored.create_node() == ids[2]  # the gap is recycled first
+
+
+def test_empty_database_roundtrip(tmp_path):
+    db = GraphDatabase()
+    save_snapshot(db, tmp_path / "snap")
+    restored = load_snapshot(tmp_path / "snap")
+    assert restored.store.statistics.node_count == 0
+    assert len(restored.indexes) == 0
+
+
+def test_format_version_check(tmp_path):
+    db = GraphDatabase()
+    path = save_snapshot(db, tmp_path / "snap")
+    metadata = path / "metadata.json"
+    metadata.write_text(metadata.read_text().replace(": 1", ": 99"))
+    with pytest.raises(StorageError):
+        load_snapshot(path)
+
+
+def test_snapshot_of_generated_dataset(tmp_path):
+    from repro.datasets import CorrelatedConfig, correlated, generate_correlated
+
+    db = GraphDatabase()
+    generate_correlated(db, CorrelatedConfig(paths=20, noise_factor=4))
+    db.create_path_index("Full", correlated.FULL_PATTERN)
+    save_snapshot(db, tmp_path / "snap")
+    restored = load_snapshot(tmp_path / "snap")
+    baseline = restored.execute(
+        correlated.FULL_QUERY, PlannerHints(use_path_indexes=False)
+    ).to_list()
+    assert len(baseline) == 20
+    assert restored.verify_index("Full")

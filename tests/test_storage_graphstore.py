@@ -1,0 +1,253 @@
+"""Unit tests for the record-level graph store (paper §2.1.2, Figure 1)."""
+
+import pytest
+
+from repro.errors import ConstraintViolationError, RecordNotFoundError
+from repro.storage import Direction, GraphStore, PageCache
+
+
+@pytest.fixture
+def store() -> GraphStore:
+    return GraphStore(PageCache())
+
+
+def labeled(store: GraphStore, *names: str) -> int:
+    return store.create_node([store.labels.get_or_create(n) for n in names])
+
+
+def test_create_node_assigns_sequential_ids(store):
+    assert store.create_node() == 0
+    assert store.create_node() == 1
+    assert len(store.nodes) == 2
+
+
+def test_node_labels_roundtrip(store):
+    person = store.labels.get_or_create("Person")
+    admin = store.labels.get_or_create("Admin")
+    node = store.create_node([person, admin])
+    assert store.node_labels(node) == frozenset({person, admin})
+    assert store.has_label(node, person)
+
+
+def test_nodes_with_label_uses_label_index(store):
+    person = store.labels.get_or_create("Person")
+    a = store.create_node([person])
+    store.create_node()
+    b = store.create_node([person])
+    assert sorted(store.nodes_with_label(person)) == [a, b]
+
+
+def test_add_and_remove_label_updates_index(store):
+    person = store.labels.get_or_create("Person")
+    node = store.create_node()
+    assert store.add_label(node, person)
+    assert not store.add_label(node, person)
+    assert list(store.nodes_with_label(person)) == [node]
+    assert store.remove_label(node, person)
+    assert not store.remove_label(node, person)
+    assert list(store.nodes_with_label(person)) == []
+
+
+def test_delete_node_removes_it(store):
+    node = store.create_node()
+    store.delete_node(node)
+    assert not store.node_exists(node)
+    with pytest.raises(RecordNotFoundError):
+        store.node(node)
+
+
+def test_delete_connected_node_is_refused(store):
+    t = store.types.get_or_create("KNOWS")
+    a, b = store.create_node(), store.create_node()
+    store.create_relationship(a, b, t)
+    with pytest.raises(ConstraintViolationError):
+        store.delete_node(a)
+    with pytest.raises(ConstraintViolationError):
+        store.delete_node(b)
+
+
+def test_node_id_reuse_after_delete(store):
+    node = store.create_node()
+    store.delete_node(node)
+    assert store.create_node() == node
+
+
+def test_create_relationship_links_both_chains(store):
+    t = store.types.get_or_create("KNOWS")
+    a, b = store.create_node(), store.create_node()
+    rel = store.create_relationship(a, b, t)
+    record = store.relationship(rel)
+    assert record.start_node == a
+    assert record.end_node == b
+    assert [r.id for r in store.relationships_of(a)] == [rel]
+    assert [r.id for r in store.relationships_of(b)] == [rel]
+
+
+def test_direction_filters(store):
+    t = store.types.get_or_create("T")
+    a, b = store.create_node(), store.create_node()
+    out_rel = store.create_relationship(a, b, t)
+    in_rel = store.create_relationship(b, a, t)
+    outs = [r.id for r in store.relationships_of(a, Direction.OUTGOING)]
+    ins = [r.id for r in store.relationships_of(a, Direction.INCOMING)]
+    assert outs == [out_rel]
+    assert ins == [in_rel]
+    assert sorted(r.id for r in store.relationships_of(a, Direction.BOTH)) == sorted(
+        [out_rel, in_rel]
+    )
+
+
+def test_type_filter(store):
+    knows = store.types.get_or_create("KNOWS")
+    likes = store.types.get_or_create("LIKES")
+    a, b = store.create_node(), store.create_node()
+    k = store.create_relationship(a, b, knows)
+    store.create_relationship(a, b, likes)
+    assert [r.id for r in store.relationships_of(a, Direction.BOTH, knows)] == [k]
+
+
+def test_multigraph_allows_parallel_relationships(store):
+    t = store.types.get_or_create("T")
+    a, b = store.create_node(), store.create_node()
+    r1 = store.create_relationship(a, b, t)
+    r2 = store.create_relationship(a, b, t)
+    assert r1 != r2
+    assert store.degree(a) == 2
+
+
+def test_self_loop(store):
+    t = store.types.get_or_create("T")
+    a = store.create_node()
+    rel = store.create_relationship(a, a, t)
+    incident = [r.id for r in store.relationships_of(a)]
+    assert incident == [rel]
+    # A loop matches either direction.
+    assert [r.id for r in store.relationships_of(a, Direction.OUTGOING)] == [rel]
+    assert [r.id for r in store.relationships_of(a, Direction.INCOMING)] == [rel]
+    store.delete_relationship(rel)
+    assert list(store.relationships_of(a)) == []
+    assert store.degree(a) == 0
+
+
+def test_delete_relationship_from_middle_of_chain(store):
+    t = store.types.get_or_create("T")
+    a = store.create_node()
+    others = [store.create_node() for _ in range(5)]
+    rels = [store.create_relationship(a, o, t) for o in others]
+    store.delete_relationship(rels[2])
+    remaining = sorted(r.id for r in store.relationships_of(a))
+    assert remaining == sorted(set(rels) - {rels[2]})
+    assert store.degree(a) == 4
+
+
+def test_expand_yields_neighbours(store):
+    t = store.types.get_or_create("T")
+    a, b, c = (store.create_node() for _ in range(3))
+    store.create_relationship(a, b, t)
+    store.create_relationship(c, a, t)
+    out_neighbours = [n for _, n in store.expand(a, Direction.OUTGOING)]
+    in_neighbours = [n for _, n in store.expand(a, Direction.INCOMING)]
+    assert out_neighbours == [b]
+    assert in_neighbours == [c]
+
+
+def test_dense_node_conversion_preserves_relationships(store):
+    t1 = store.types.get_or_create("T1")
+    t2 = store.types.get_or_create("T2")
+    hub = store.create_node()
+    store_threshold = store.dense_node_threshold
+    created = []
+    for i in range(store_threshold + 10):
+        other = store.create_node()
+        type_id = t1 if i % 2 == 0 else t2
+        created.append((store.create_relationship(hub, other, type_id), type_id))
+    assert store.node(hub).dense
+    all_ids = sorted(r.id for r in store.relationships_of(hub))
+    assert all_ids == sorted(rid for rid, _ in created)
+    t1_ids = sorted(r.id for r in store.relationships_of(hub, Direction.BOTH, t1))
+    assert t1_ids == sorted(rid for rid, tid in created if tid == t1)
+
+
+def test_dense_node_delete_and_direction(store):
+    t = store.types.get_or_create("T")
+    hub = store.create_node()
+    out_rels, in_rels = [], []
+    for _ in range(40):
+        other = store.create_node()
+        out_rels.append(store.create_relationship(hub, other, t))
+        in_rels.append(store.create_relationship(other, hub, t))
+    assert store.node(hub).dense
+    store.delete_relationship(out_rels[0])
+    outs = sorted(r.id for r in store.relationships_of(hub, Direction.OUTGOING))
+    assert outs == sorted(out_rels[1:])
+    ins = sorted(r.id for r in store.relationships_of(hub, Direction.INCOMING))
+    assert ins == sorted(in_rels)
+
+
+def test_node_properties(store):
+    name = store.property_keys.get_or_create("name")
+    age = store.property_keys.get_or_create("age")
+    node = store.create_node()
+    store.set_node_property(node, name, "alice")
+    store.set_node_property(node, age, 30)
+    assert store.node_property(node, name) == "alice"
+    assert store.node_properties(node) == {name: "alice", age: 30}
+    store.set_node_property(node, age, 31)
+    assert store.node_property(node, age) == 31
+    store.remove_node_property(node, name)
+    assert store.node_property(node, name) is None
+    assert store.node_properties(node) == {age: 31}
+
+
+def test_relationship_properties(store):
+    t = store.types.get_or_create("T")
+    weight = store.property_keys.get_or_create("weight")
+    a, b = store.create_node(), store.create_node()
+    rel = store.create_relationship(a, b, t)
+    store.set_relationship_property(rel, weight, 0.5)
+    assert store.relationship_property(rel, weight) == 0.5
+
+
+def test_statistics_track_counts(store):
+    person = store.labels.get_or_create("Person")
+    city = store.labels.get_or_create("City")
+    lives = store.types.get_or_create("LIVES_IN")
+    p = store.create_node([person])
+    c = store.create_node([city])
+    rel = store.create_relationship(p, c, lives)
+    stats = store.statistics
+    assert stats.node_count == 2
+    assert stats.nodes_with_label(person) == 1
+    assert stats.rels_with_type(lives) == 1
+    assert stats.rels_with_start_label_and_type(person, lives) == 1
+    assert stats.rels_with_type_and_end_label(lives, city) == 1
+    store.delete_relationship(rel)
+    assert stats.rels_with_type(lives) == 0
+    assert stats.rels_with_start_label_and_type(person, lives) == 0
+
+
+def test_statistics_follow_label_changes_on_connected_nodes(store):
+    person = store.labels.get_or_create("Person")
+    t = store.types.get_or_create("T")
+    a, b = store.create_node(), store.create_node()
+    store.create_relationship(a, b, t)
+    store.add_label(a, person)
+    assert store.statistics.rels_with_start_label_and_type(person, t) == 1
+    store.remove_label(a, person)
+    assert store.statistics.rels_with_start_label_and_type(person, t) == 0
+
+
+def test_size_on_disk_grows_with_data(store):
+    empty = store.size_on_disk()
+    t = store.types.get_or_create("T")
+    a, b = store.create_node(), store.create_node()
+    store.create_relationship(a, b, t)
+    assert store.size_on_disk() > empty
+
+
+def test_all_scans(store):
+    t = store.types.get_or_create("T")
+    ids = [store.create_node() for _ in range(3)]
+    rel = store.create_relationship(ids[0], ids[1], t)
+    assert list(store.all_nodes()) == ids
+    assert list(store.all_relationships()) == [rel]

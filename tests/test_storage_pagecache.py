@@ -1,0 +1,107 @@
+"""Unit tests for the simulated page cache (cold vs. cached substrate)."""
+
+import pytest
+
+from repro.storage import PageCache
+from repro.storage.stores import RecordStore, TokenStore
+
+
+def test_miss_then_hit():
+    cache = PageCache(capacity_pages=16, page_size=8192)
+    cache.register_file("f")
+    assert cache.touch("f", 0) is False
+    assert cache.touch("f", 100) is True  # same page
+    assert cache.touch("f", 8192) is False  # next page
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 2
+
+
+def test_flush_makes_everything_cold_again():
+    cache = PageCache(capacity_pages=16)
+    cache.touch("f", 0)
+    cache.flush()
+    assert cache.resident_pages == 0
+    assert cache.touch("f", 0) is False
+    assert cache.stats.flushes == 1
+
+
+def test_lru_eviction_bounds_residency():
+    cache = PageCache(capacity_pages=2, page_size=1)
+    for offset in range(5):
+        cache.touch("f", offset)
+    assert cache.resident_pages == 2
+    assert cache.stats.evictions == 3
+    # Oldest pages were evicted; most recent two are resident.
+    assert cache.touch("f", 4) is True
+    assert cache.touch("f", 0) is False
+
+
+def test_lru_recency_update():
+    cache = PageCache(capacity_pages=2, page_size=1)
+    cache.touch("f", 0)
+    cache.touch("f", 1)
+    cache.touch("f", 0)  # refresh page 0
+    cache.touch("f", 2)  # evicts page 1, not 0
+    assert cache.touch("f", 0) is True
+    assert cache.touch("f", 1) is False
+
+
+def test_simulated_io_time_accumulates():
+    cache = PageCache(miss_latency_s=1e-3)
+    cache.touch("f", 0)
+    cache.touch("f", 8192)
+    assert cache.stats.simulated_io_seconds == pytest.approx(2e-3)
+
+
+def test_stats_snapshot_and_delta():
+    cache = PageCache()
+    cache.touch("f", 0)
+    before = cache.stats.snapshot()
+    cache.touch("f", 0)
+    cache.touch("f", 8192)
+    delta = cache.stats.delta_since(before)
+    assert delta.hits == 1
+    assert delta.misses == 1
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        PageCache(capacity_pages=0)
+    with pytest.raises(ValueError):
+        PageCache(page_size=0)
+
+
+def test_record_store_touches_cache():
+    cache = PageCache(page_size=64)
+    store: RecordStore[str] = RecordStore("s", record_size=32, page_cache=cache)
+    rid = store.allocate_id()
+    store.write(rid, "x")
+    misses_after_write = cache.stats.misses
+    assert misses_after_write >= 1
+    store.read(rid)
+    assert cache.stats.hits >= 1
+
+
+def test_record_store_size_on_disk():
+    cache = PageCache()
+    store: RecordStore[str] = RecordStore("s", record_size=10, page_cache=cache)
+    for _ in range(5):
+        store.write(store.allocate_id(), "x")
+    assert store.size_on_disk() == 50
+    # Freed records still occupy file space until the id is reused.
+    store.free(0)
+    assert store.size_on_disk() == 50
+    assert len(store) == 4
+
+
+def test_token_store_roundtrip():
+    tokens = TokenStore("labels")
+    a = tokens.get_or_create("A")
+    assert tokens.get_or_create("A") == a
+    b = tokens.get_or_create("B")
+    assert b != a
+    assert tokens.name_of(a) == "A"
+    assert tokens.id_of("B") == b
+    assert tokens.id_of("missing") is None
+    assert "A" in tokens
+    assert len(tokens) == 2

@@ -1,0 +1,149 @@
+"""Property-based tests: the graph store against simple reference models."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import Direction, GraphStore
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["set", "remove"]),
+            st.integers(min_value=0, max_value=5),  # key id
+            st.integers(min_value=0, max_value=99),  # value
+        ),
+        max_size=60,
+    )
+)
+def test_property_chain_matches_dict_model(ops):
+    store = GraphStore()
+    node = store.create_node()
+    for _ in range(6):
+        store.property_keys.get_or_create(f"k{_}")
+    model: dict[int, int] = {}
+    for action, key, value in ops:
+        if action == "set":
+            store.set_node_property(node, key, value)
+            model[key] = value
+        else:
+            store.remove_node_property(node, key)
+            model.pop(key, None)
+        assert store.node_properties(node) == model
+    for key in range(6):
+        assert store.node_property(node, key) == model.get(key)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_relationship_chains_match_adjacency_model(seed):
+    """Random create/delete sequences: chain iteration must always equal a
+    plain adjacency-set model, across the dense-node conversion boundary."""
+    rng = random.Random(seed)
+    store = GraphStore(dense_node_threshold=6)  # cross densification often
+    types = [store.types.get_or_create(name) for name in ("S", "T")]
+    nodes = [store.create_node() for _ in range(5)]
+    live: dict[int, tuple[int, int, int]] = {}  # rel_id -> (start, end, type)
+    for _ in range(80):
+        if live and rng.random() < 0.4:
+            rel_id = rng.choice(list(live))
+            store.delete_relationship(rel_id)
+            del live[rel_id]
+        else:
+            start, end = rng.choice(nodes), rng.choice(nodes)
+            type_id = rng.choice(types)
+            rel_id = store.create_relationship(start, end, type_id)
+            live[rel_id] = (start, end, type_id)
+    for node in nodes:
+        expected_out = {
+            rel_id
+            for rel_id, (start, end, _) in live.items()
+            if start == node or (start == end == node)
+        }
+        expected_in = {
+            rel_id
+            for rel_id, (start, end, _) in live.items()
+            if end == node or (start == end == node)
+        }
+        expected_all = expected_out | expected_in
+        assert {
+            r.id for r in store.relationships_of(node, Direction.OUTGOING)
+        } == expected_out
+        assert {
+            r.id for r in store.relationships_of(node, Direction.INCOMING)
+        } == expected_in
+        assert {r.id for r in store.relationships_of(node)} == expected_all
+        for type_id in types:
+            expected_typed = {
+                rel_id
+                for rel_id in expected_all
+                if live[rel_id][2] == type_id
+            }
+            assert {
+                r.id
+                for r in store.relationships_of(node, Direction.BOTH, type_id)
+            } == expected_typed
+        loop_count = sum(
+            1 for start, end, _ in live.values() if start == end == node
+        )
+        incident = sum(
+            1
+            for start, end, _ in live.values()
+            if node in (start, end)
+        )
+        assert store.degree(node) == incident - 0 * loop_count
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_statistics_match_recount(seed):
+    """Incrementally-maintained statistics equal a full recount at any time."""
+    rng = random.Random(seed)
+    store = GraphStore()
+    labels = [store.labels.get_or_create(name) for name in ("A", "B")]
+    type_id = store.types.get_or_create("T")
+    nodes = []
+    rels = []
+    for _ in range(40):
+        roll = rng.random()
+        if roll < 0.4 or not nodes:
+            nodes.append(store.create_node(rng.sample(labels, rng.randrange(3))))
+        elif roll < 0.7:
+            rels.append(
+                store.create_relationship(
+                    rng.choice(nodes), rng.choice(nodes), type_id
+                )
+            )
+        elif roll < 0.85 and rels:
+            store.delete_relationship(rels.pop(rng.randrange(len(rels))))
+        else:
+            node = rng.choice(nodes)
+            label = rng.choice(labels)
+            if rng.random() < 0.5:
+                store.add_label(node, label)
+            else:
+                store.remove_label(node, label)
+    # Recount from scratch and compare.
+    assert store.statistics.node_count == len(list(store.all_nodes()))
+    assert store.statistics.relationship_count == len(
+        list(store.all_relationships())
+    )
+    for label_id in labels:
+        assert store.statistics.nodes_with_label(label_id) == sum(
+            1
+            for node in store.all_nodes()
+            if label_id in store.node_labels(node)
+        )
+        expected = sum(
+            1
+            for rel_id in store.all_relationships()
+            if label_id
+            in store.node_labels(store.relationship(rel_id).start_node)
+        )
+        assert (
+            store.statistics.rels_with_start_label_and_type(label_id, type_id)
+            == expected
+        )

@@ -1,0 +1,204 @@
+"""Unit tests for the transaction layer (paper §2.1.4, §4.1.1 semantics)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConstraintViolationError, TransactionError
+from repro.storage import GraphStore
+from repro.tx import Transaction, TransactionApplier, TransactionManager
+
+
+@pytest.fixture
+def store() -> GraphStore:
+    return GraphStore()
+
+
+@pytest.fixture
+def manager(store) -> TransactionManager:
+    return TransactionManager(store)
+
+
+def test_commit_applies_creates(store, manager):
+    with manager.begin() as tx:
+        person = store.labels.get_or_create("Person")
+        a = tx.create_node([person])
+        b = tx.create_node()
+        tx.create_relationship(a, b, store.types.get_or_create("KNOWS"))
+        tx.success()
+    assert store.node_exists(a)
+    assert store.degree(a) == 1
+
+
+def test_rollback_undoes_creates(store, manager):
+    with manager.begin() as tx:
+        a = tx.create_node()
+        b = tx.create_node()
+        tx.create_relationship(a, b, store.types.get_or_create("T"))
+        # no tx.success()
+    assert not store.node_exists(a)
+    assert not store.node_exists(b)
+    assert store.statistics.node_count == 0
+    assert store.statistics.relationship_count == 0
+
+
+def test_exception_inside_block_rolls_back(store, manager):
+    with pytest.raises(RuntimeError):
+        with manager.begin() as tx:
+            tx.create_node()
+            tx.success()  # success then crash: still rolled back
+            raise RuntimeError("boom")
+    assert store.statistics.node_count == 0
+
+
+def test_relationship_deletion_is_deferred_until_commit(store, manager):
+    t = store.types.get_or_create("T")
+    with manager.begin() as tx:
+        a = tx.create_node()
+        b = tx.create_node()
+        rel = tx.create_relationship(a, b, t)
+        tx.success()
+    with manager.begin() as tx:
+        tx.delete_relationship(rel)
+        assert store.relationship_exists(rel)  # still visible pre-commit
+        tx.success()
+    assert not store.relationship_exists(rel)
+
+
+def test_double_delete_same_relationship_rejected(store, manager):
+    t = store.types.get_or_create("T")
+    with manager.begin() as tx:
+        a, b = tx.create_node(), tx.create_node()
+        rel = tx.create_relationship(a, b, t)
+        tx.success()
+    with manager.begin() as tx:
+        tx.delete_relationship(rel)
+        with pytest.raises(TransactionError):
+            tx.delete_relationship(rel)
+
+
+def test_delete_node_with_relationships_refused(store, manager):
+    t = store.types.get_or_create("T")
+    with manager.begin() as tx:
+        a, b = tx.create_node(), tx.create_node()
+        tx.create_relationship(a, b, t)
+        tx.success()
+    with manager.begin() as tx:
+        with pytest.raises(ConstraintViolationError):
+            tx.delete_node(a)
+
+
+def test_delete_node_allowed_after_deleting_its_relationships(store, manager):
+    t = store.types.get_or_create("T")
+    with manager.begin() as tx:
+        a, b = tx.create_node(), tx.create_node()
+        rel = tx.create_relationship(a, b, t)
+        tx.success()
+    with manager.begin() as tx:
+        tx.delete_relationship(rel)
+        tx.delete_node(a)
+        tx.success()
+    assert not store.node_exists(a)
+    assert store.node_exists(b)
+
+
+def test_label_add_and_deferred_removal(store, manager):
+    person = store.labels.get_or_create("Person")
+    with manager.begin() as tx:
+        a = tx.create_node()
+        tx.add_label(a, person)
+        tx.success()
+    assert store.has_label(a, person)
+    with manager.begin() as tx:
+        tx.remove_label(a, person)
+        assert store.has_label(a, person)  # deferred
+        tx.success()
+    assert not store.has_label(a, person)
+
+
+def test_property_set_and_rollback(store, manager):
+    key = store.property_keys.get_or_create("name")
+    with manager.begin() as tx:
+        a = tx.create_node()
+        tx.set_node_property(a, key, "v1")
+        tx.success()
+    with manager.begin() as tx:
+        tx.set_node_property(a, key, "v2")
+        # rollback
+    assert store.node_property(a, key) == "v1"
+
+
+def test_closed_transaction_rejects_use(store, manager):
+    tx = manager.begin()
+    tx.success()
+    tx.close()
+    with pytest.raises(TransactionError):
+        tx.create_node()
+    with pytest.raises(TransactionError):
+        tx.close()
+
+
+def test_nested_begin_rejected(manager):
+    with manager.begin():
+        with pytest.raises(TransactionError):
+            manager.begin()
+    assert manager.current() is None
+
+
+def test_transactions_are_thread_bound(store, manager):
+    with manager.begin() as tx:
+        seen_in_thread = []
+
+        def worker():
+            seen_in_thread.append(manager.current())
+            inner = manager.begin()  # allowed: different thread
+            seen_in_thread.append(inner)
+            inner.close()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen_in_thread[0] is None
+        assert isinstance(seen_in_thread[1], Transaction)
+        assert manager.current() is tx
+
+
+def test_suspended_hides_active_transaction(manager):
+    with manager.begin() as tx:
+        with manager.suspended():
+            assert manager.current() is None
+            inner = manager.begin()
+            inner.success()
+            inner.close()
+        assert manager.current() is tx
+
+
+class _RecordingApplier(TransactionApplier):
+    def __init__(self, store, rel_id_holder):
+        self.store = store
+        self.rel_id_holder = rel_id_holder
+        self.existed_before = None
+        self.existed_after = None
+
+    def before_destructive(self, state, store):
+        self.existed_before = store.relationship_exists(self.rel_id_holder[0])
+
+    def after_apply(self, state, store):
+        self.existed_after = store.relationship_exists(self.rel_id_holder[0])
+
+
+def test_applier_phases_bracket_destructive_application(store, manager):
+    t = store.types.get_or_create("T")
+    holder = [None]
+    applier = _RecordingApplier(store, holder)
+    manager.register_applier(applier)
+    with manager.begin() as tx:
+        a, b = tx.create_node(), tx.create_node()
+        holder[0] = tx.create_relationship(a, b, t)
+        tx.success()
+    with manager.begin() as tx:
+        tx.delete_relationship(holder[0])
+        tx.success()
+    # The removal was visible to before_destructive but gone in after_apply.
+    assert applier.existed_before is True
+    assert applier.existed_after is False

@@ -1,0 +1,88 @@
+"""Regression tests for write-query semantics (MATCH + CREATE/DELETE +
+RETURN): created variables must be visible to the projection, and MATCH-bound
+variables must be *reused*, never re-created."""
+
+import pytest
+
+from repro import GraphDatabase
+
+
+@pytest.fixture
+def db():
+    return GraphDatabase()
+
+
+def test_create_reuses_match_bound_node(db):
+    """Regression: `MATCH (x) CREATE (x)-[r]->(m)` once re-created x."""
+    a = db.create_node(["A"], {"name": "ada"})
+    rows = db.execute(
+        "MATCH (x:A) CREATE (x)-[r:S]->(m:M) RETURN x.name AS n, m"
+    ).to_list()
+    assert rows == [{"n": "ada", "m": a + 1}]
+    # Exactly one node was created (m), and the relationship starts at x.
+    assert db.store.statistics.node_count == 2
+    (rel_id,) = list(db.store.all_relationships())
+    record = db.store.relationship(rel_id)
+    assert (record.start_node, record.end_node) == (a, a + 1)
+
+
+def test_create_per_matched_row(db):
+    for i in range(3):
+        db.create_node(["A"], {"i": i})
+    db.execute("MATCH (x:A) CREATE (x)-[r:TAG]->(t:T)").consume()
+    assert db.store.statistics.nodes_with_label(db.label("T")) == 3
+    assert db.store.statistics.rels_with_type(db.relationship_type("TAG")) == 3
+
+
+def test_return_projects_after_updates(db):
+    rows = db.execute(
+        "CREATE (a:P {v: 2})-[r:K]->(b:P {v: 3}) RETURN a.v + b.v AS s"
+    ).to_list()
+    assert rows == [{"s": 5}]
+
+
+def test_delete_then_return_remaining(db):
+    a, b = db.create_node(["A"]), db.create_node(["B"])
+    rel = db.create_relationship(a, b, "R")
+    rows = db.execute("MATCH (x:A)-[r:R]->(y:B) DELETE r RETURN x, y").to_list()
+    assert rows == [{"x": a, "y": b}]
+    assert db.store.statistics.relationship_count == 0
+
+
+def test_update_query_with_order_and_limit(db):
+    for value in (3, 1, 2):
+        db.create_node(["A"], {"v": value})
+    rows = db.execute(
+        "MATCH (x:A) CREATE (x)-[r:TAG]->(t:T) "
+        "RETURN x.v AS v ORDER BY x.v DESC LIMIT 2"
+    ).to_list()
+    assert [row["v"] for row in rows] == [3, 2]
+    assert db.store.statistics.nodes_with_label(db.label("T")) == 3
+
+
+def test_update_query_distinct(db):
+    for _ in range(2):
+        db.create_node(["A"], {"g": 1})
+    rows = db.execute(
+        "MATCH (x:A) CREATE (x)-[r:TAG]->(t:T) RETURN DISTINCT x.g AS g"
+    ).to_list()
+    assert rows == [{"g": 1}]
+
+
+def test_create_indexes_maintained_through_cypher_writes(db):
+    db.create_path_index("ix", "(:A)-[:R]->(:B)", populate=False)
+    db.execute("CREATE (a:A)-[r:R]->(b:B)").consume()
+    assert db.path_index("ix").cardinality == 1
+    db.execute("MATCH (a:A)-[r:R]->(b:B) DELETE r").consume()
+    assert db.path_index("ix").cardinality == 0
+    assert db.verify_index("ix")
+
+
+def test_with_boundary_then_create(db):
+    a = db.create_node(["A"], {"name": "x"})
+    db.execute(
+        "MATCH (x:A) WITH x CREATE (x)-[r:OWNS]->(thing:Thing)"
+    ).consume()
+    assert db.store.statistics.nodes_with_label(db.label("Thing")) == 1
+    (rel_id,) = list(db.store.all_relationships())
+    assert db.store.relationship(rel_id).start_node == a

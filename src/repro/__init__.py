@@ -24,28 +24,54 @@ from repro.errors import (
     PathIndexError,
     PatternSyntaxError,
     PlannerError,
+    QueryCancelledError,
+    QueryTimeoutError,
     ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceShutdownError,
     StorageError,
     TransactionError,
 )
 from repro.pathindex import PathPattern
 from repro.planner import PlannerHints
+from repro.service import (
+    CancellationToken,
+    MetricsRegistry,
+    QueryOutcome,
+    QueryService,
+    QueryStatus,
+    QueryTicket,
+    ServiceConfig,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CancellationToken",
     "ConstraintViolationError",
     "CypherSemanticError",
     "CypherSyntaxError",
     "GraphDatabase",
     "IndexCreationStats",
+    "MetricsRegistry",
     "PathIndexError",
     "PathPattern",
     "PatternSyntaxError",
     "PlannerError",
     "PlannerHints",
+    "QueryCancelledError",
+    "QueryOutcome",
+    "QueryService",
+    "QueryStatus",
+    "QueryTicket",
+    "QueryTimeoutError",
     "ReproError",
     "Result",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceShutdownError",
     "StorageError",
     "TransactionError",
     "__version__",

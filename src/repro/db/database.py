@@ -175,28 +175,44 @@ class GraphDatabase:
     # ------------------------------------------------------------------
 
     def execute(
-        self, query_text: str, hints: Optional[PlannerHints] = None
+        self,
+        query_text: str,
+        hints: Optional[PlannerHints] = None,
+        token: Optional[object] = None,
+        prepared: Optional[CachedQuery] = None,
     ) -> Result:
         """Parse, plan and run a Cypher query; returns a timed Result.
 
         Read-only queries stream lazily; update queries apply their writes
         (committing an implicit transaction unless one is already open) and
-        return materialized rows.
+        return materialized rows. ``token`` is an optional cooperative
+        cancellation token (``repro.service.CancellationToken``) checked at
+        row boundaries; a cancelled/timed-out write rolls back. ``prepared``
+        (from :meth:`prepare`) skips the plan-cache lookup — the service
+        layer uses it so planning is looked up and timed exactly once.
         """
         submitted = time.perf_counter()
-        cached = self._planned(query_text, hints)
+        cached = prepared if prepared is not None else self._planned(query_text, hints)
         executor = Executor(
             self.store, self.indexes, cached.analyzed.variable_kinds
         )
         if not cached.analyzed.is_write:
-            rows, profile = executor.execute(cached.planned_parts)
+            rows, profile = executor.execute(cached.planned_parts, token=token)
             return Result(rows, cached.columns, profile, submitted)
         with self._write_tx() as (tx, own):
-            rows, profile = executor.execute(cached.planned_parts, transaction=tx)
+            rows, profile = executor.execute(
+                cached.planned_parts, transaction=tx, token=token
+            )
             materialized = list(rows)
             if own:
                 tx.success()
         return Result(iter(materialized), cached.columns, profile, submitted)
+
+    def prepare(self, query_text: str, hints: Optional[PlannerHints] = None) -> CachedQuery:
+        """Analyze and plan a query (through the plan cache) without running
+        it — the service layer uses this to classify reads vs. writes and to
+        time planning separately from execution."""
+        return self._planned(query_text, hints)
 
     def _planned(self, query_text: str, hints: Optional[PlannerHints]) -> CachedQuery:
         """Plan a query, consulting the §4.1.1 query cache."""

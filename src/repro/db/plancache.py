@@ -9,13 +9,20 @@ queries of Algorithm 1 go straight to the planner.
 Entries are keyed by (query text, hints) and invalidated when the index set
 changes or the graph statistics drift beyond a threshold — a plan chosen for
 very different cardinalities is likely stale.
+
+The cache is thread-safe (a single lock guards the LRU map and its
+counters) so the concurrent query service can share one database across
+worker threads, and capacity evictions are counted. ``on_event`` is an
+optional callback receiving ``"hit" | "miss" | "eviction" | "invalidation"``
+— the service layer points it at its metrics registry.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 DEFAULT_CAPACITY = 128
 DEFAULT_DRIFT = 0.25
@@ -34,7 +41,8 @@ class CachedQuery:
 
 
 class PlanCache:
-    """Bounded LRU cache of planned queries with staleness invalidation."""
+    """Bounded, thread-safe LRU cache of planned queries with staleness
+    invalidation."""
 
     def __init__(
         self,
@@ -46,9 +54,12 @@ class PlanCache:
         self.capacity = capacity
         self.drift_threshold = drift_threshold
         self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.evictions = 0
+        self.on_event: Optional[Callable[[str], None]] = None
 
     def lookup(
         self,
@@ -59,32 +70,53 @@ class PlanCache:
     ) -> Optional[CachedQuery]:
         """A fresh cached entry for ``key``, or None (stale entries are
         evicted on sight)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        if entry.index_signature != index_signature or self._drifted(
-            entry, node_count, relationship_count
-        ):
-            del self._entries[key]
-            self.invalidations += 1
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
+        events: list[str] = []
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                events.append("miss")
+                entry = None
+            elif entry.index_signature != index_signature or self._drifted(
+                entry, node_count, relationship_count
+            ):
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                events.extend(("invalidation", "miss"))
+                entry = None
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                events.append("hit")
+        self._emit(events)
         return entry
 
     def store(self, key, entry: CachedQuery) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        events: list[str] = []
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                events.append("eviction")
+        self._emit(events)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    def _emit(self, events: list[str]) -> None:
+        # Outside the lock: the callback may be arbitrarily slow (metrics).
+        callback = self.on_event
+        if callback is not None:
+            for event in events:
+                callback(event)
 
     def _drifted(self, entry: CachedQuery, nodes: int, relationships: int) -> bool:
         return _drift(entry.node_count, nodes) > self.drift_threshold or _drift(

@@ -49,3 +49,38 @@ class PathIndexError(ReproError):
 
 class PatternSyntaxError(PathIndexError):
     """A path pattern string could not be parsed."""
+
+
+class ServiceError(ReproError):
+    """The concurrent query service was used incorrectly or is unavailable."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a query: the pending queue is full.
+
+    Raised at submission time instead of queueing unboundedly; callers are
+    expected to shed load or retry with backoff.
+    """
+
+
+class ServiceShutdownError(ServiceError):
+    """A query was submitted to a service that has been shut down."""
+
+
+class QueryCancelledError(ServiceError):
+    """The query's cancellation token was triggered mid-execution."""
+
+    def __init__(self, message: str = "query cancelled", rows_produced: int = 0):
+        super().__init__(message)
+        self.rows_produced = rows_produced
+
+
+class QueryTimeoutError(QueryCancelledError, TimeoutError):
+    """The query's deadline expired mid-execution.
+
+    Also a builtin :class:`TimeoutError` so callers can use the idiomatic
+    ``except TimeoutError`` regardless of which layer raised it.
+    """
+
+    def __init__(self, message: str = "query deadline exceeded", rows_produced: int = 0):
+        super().__init__(message, rows_produced)

@@ -65,11 +65,20 @@ class Executor:
         planned_parts: Sequence[tuple[QueryPart, LogicalPlan]],
         transaction: Optional[Transaction] = None,
         initial_row: Optional[Row] = None,
+        token: Optional[object] = None,
     ) -> tuple[Iterator[Row], ExecutionProfile]:
-        """Build the row iterator for the whole query; lazy for reads."""
+        """Build the row iterator for the whole query; lazy for reads.
+
+        ``token`` is an optional cooperative cancellation token (see
+        ``repro.service.cancellation``) checked at row boundaries.
+        """
         profile = ExecutionProfile([plan for _, plan in planned_parts])
         ctx = RuntimeContext(
-            self.store, self.index_store, self.eval_ctx, profile.operators
+            self.store,
+            self.index_store,
+            self.eval_ctx,
+            profile.operators,
+            token=token,
         )
         rows: Iterator[Row] = iter([initial_row or Row.empty()])
         for part, plan in planned_parts:

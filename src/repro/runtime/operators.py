@@ -77,7 +77,13 @@ class OperatorProfile:
 
 
 class RuntimeContext:
-    """Shared state for one query execution."""
+    """Shared state for one query execution.
+
+    ``token`` (when set) is a cooperative cancellation token — see
+    ``repro.service.cancellation`` — checked at every operator's row
+    boundary, so deadline expiry or an explicit cancel stops a query
+    mid-scan instead of letting it run to completion.
+    """
 
     def __init__(
         self,
@@ -85,21 +91,36 @@ class RuntimeContext:
         index_store: Optional[PathIndexStore],
         eval_ctx: EvaluationContext,
         profile: OperatorProfile,
+        token: Optional[object] = None,
     ) -> None:
         self.store = store
         self.index_store = index_store
         self.eval_ctx = eval_ctx
         self.profile = profile
+        self.token = token
 
 
 def compile_plan(plan: LogicalPlan, ctx: RuntimeContext) -> RunFn:
-    """Compile ``plan`` into an executable pipeline with profiling."""
-    run = _compile(plan, ctx)
+    """Compile ``plan`` into an executable pipeline with profiling.
 
-    def counted(arg_row: Row) -> Iterator[Row]:
-        for row in run(arg_row):
-            ctx.profile.record(plan, 1)
-            yield row
+    With a cancellation token on the context, every row crossing this
+    operator also passes a token check; tokenless execution pays nothing.
+    """
+    run = _compile(plan, ctx)
+    token = ctx.token
+    if token is None:
+        def counted(arg_row: Row) -> Iterator[Row]:
+            for row in run(arg_row):
+                ctx.profile.record(plan, 1)
+                yield row
+    else:
+        check = token.check
+
+        def counted(arg_row: Row) -> Iterator[Row]:
+            for row in run(arg_row):
+                check()
+                ctx.profile.record(plan, 1)
+                yield row
 
     return counted
 

@@ -1,0 +1,34 @@
+"""Concurrent query service layer over the embedded database.
+
+The embedded :class:`~repro.db.database.GraphDatabase` is a single-caller
+API; this package turns it into something that can sit behind traffic:
+
+* :class:`QueryService` — worker pool + admission control + per-query
+  deadlines/cancellation + write-conflict retry,
+* :class:`CancellationToken` — the cooperative cancellation signal the
+  runtime checks at row boundaries,
+* :class:`MetricsRegistry` — counters and latency histograms backing
+  :meth:`QueryService.metrics_snapshot` and the shell's ``:metrics``.
+"""
+
+from repro.service.cancellation import CancellationToken
+from repro.service.metrics import Counter, Histogram, MetricsRegistry
+from repro.service.service import (
+    QueryOutcome,
+    QueryService,
+    QueryStatus,
+    QueryTicket,
+    ServiceConfig,
+)
+
+__all__ = [
+    "CancellationToken",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryOutcome",
+    "QueryService",
+    "QueryStatus",
+    "QueryTicket",
+    "ServiceConfig",
+]

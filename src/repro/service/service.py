@@ -1,0 +1,462 @@
+"""The concurrent query service: worker pool, admission control, deadlines.
+
+:class:`QueryService` wraps one :class:`~repro.db.database.GraphDatabase`
+behind a thread pool so many callers can execute Cypher concurrently:
+
+* **Admission control** — a bounded pending queue plus a fixed worker count.
+  When the queue is full, :meth:`submit` raises
+  :class:`~repro.errors.ServiceOverloadedError` immediately instead of
+  queueing unboundedly (load shedding, not latency hiding).
+* **Deadlines and cancellation** — every query gets a
+  :class:`~repro.service.cancellation.CancellationToken`; the runtime checks
+  it at iterator row boundaries, so a timed-out or cancelled query stops
+  mid-scan. The deadline clock starts at *submission*: time spent waiting in
+  the pending queue counts against it.
+* **Write retry** — transient :class:`~repro.errors.TransactionError`
+  conflicts on write queries are retried with exponential backoff under a
+  bounded attempt budget. Writes are serialized through a single writer
+  lock (the underlying store inherits the paper prototype's single-writer
+  restriction); reads run concurrently.
+* **Metrics** — a :class:`~repro.service.metrics.MetricsRegistry` records
+  planning/execution latency, rows produced, rejections, timeouts, retries,
+  plan-cache traffic and page-cache deltas; see :meth:`metrics_snapshot`.
+
+>>> service = QueryService(db, ServiceConfig(max_concurrency=4))
+>>> outcome = service.execute("MATCH (n:Person) RETURN n", deadline_s=1.0)
+>>> outcome.rows
+[...]
+>>> service.shutdown()
+"""
+
+from __future__ import annotations
+
+import enum
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.db.database import GraphDatabase
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServiceOverloadedError,
+    ServiceShutdownError,
+    TransactionError,
+)
+from repro.planner import PlannerHints
+from repro.service.cancellation import CancellationToken
+from repro.service.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
+
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for a :class:`QueryService`."""
+
+    max_concurrency: int = 4
+    """Worker threads executing queries simultaneously."""
+
+    max_pending: int = 16
+    """Admitted-but-not-started queries; beyond this, submissions are
+    rejected with :class:`ServiceOverloadedError`."""
+
+    default_deadline_s: Optional[float] = None
+    """Deadline applied when a query specifies none (None = unlimited)."""
+
+    write_retries: int = 3
+    """Retry attempts (beyond the first try) for transient write conflicts."""
+
+    retry_backoff_s: float = 0.01
+    """Initial backoff before the first retry; doubles per attempt."""
+
+    retry_backoff_cap_s: float = 0.25
+    """Upper bound on a single backoff sleep."""
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be positive")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be positive")
+
+
+class QueryStatus(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    TIMED_OUT = "timed_out"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class QueryOutcome:
+    """A completed query's rows plus its per-query statistics."""
+
+    rows: list[dict] = field(default_factory=list)
+    columns: list[str] = field(default_factory=list)
+    planning_seconds: float = 0.0
+    execution_seconds: float = 0.0
+    total_seconds: float = 0.0
+    queue_seconds: float = 0.0
+    attempts: int = 1
+    max_intermediate_cardinality: int = 0
+    page_cache_hits: int = 0
+    page_cache_misses: int = 0
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+
+class QueryTicket:
+    """Handle for one submitted query: await, inspect, or cancel it."""
+
+    def __init__(
+        self,
+        query: str,
+        hints: Optional[PlannerHints],
+        token: CancellationToken,
+        submitted_at: float,
+    ) -> None:
+        self.query = query
+        self.hints = hints
+        self.token = token
+        self.submitted_at = submitted_at
+        self.status = QueryStatus.PENDING
+        self.rows_produced = 0
+        """Rows the query emitted before completing or being stopped."""
+        self._done = threading.Event()
+        self._outcome: Optional[QueryOutcome] = None
+        self._error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation (effective at the next row
+        boundary, or before the query starts if still queued)."""
+        self.token.cancel()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> QueryOutcome:
+        """Block until the query finishes; return its outcome or re-raise
+        its error (:class:`QueryTimeoutError` for deadline expiry)."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("query still running")
+        if self._error is not None:
+            raise self._error
+        assert self._outcome is not None
+        return self._outcome
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+    # Internal completion hooks -----------------------------------------
+
+    def _succeed(self, outcome: QueryOutcome) -> None:
+        self._outcome = outcome
+        self.rows_produced = outcome.row_count
+        self.status = QueryStatus.SUCCEEDED
+        self._done.set()
+
+    def _fail(self, error: BaseException, status: QueryStatus) -> None:
+        self._error = error
+        self.status = status
+        self._done.set()
+
+
+class QueryService:
+    """A bounded-concurrency query front-end over one database."""
+
+    def __init__(
+        self, db: GraphDatabase, config: Optional[ServiceConfig] = None
+    ) -> None:
+        self.db = db
+        self.config = config or ServiceConfig()
+        self.metrics = MetricsRegistry()
+        self._pending: queue.Queue = queue.Queue(maxsize=self.config.max_pending)
+        self._write_lock = threading.Lock()
+        self._shutdown = False
+        self._state_lock = threading.Lock()
+        self._in_flight = 0
+        # Plan-cache traffic feeds the registry as it happens.
+        db.plan_cache.on_event = self._plan_cache_event
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"query-service-worker-{index}",
+                daemon=True,
+            )
+            for index in range(self.config.max_concurrency)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: str,
+        hints: Optional[PlannerHints] = None,
+        deadline_s: Optional[float] = None,
+    ) -> QueryTicket:
+        """Admit a query for asynchronous execution.
+
+        Raises :class:`ServiceOverloadedError` when the pending queue is
+        full and :class:`ServiceShutdownError` after :meth:`shutdown`. The
+        deadline clock starts now — queue wait counts against it.
+        """
+        if self._shutdown:
+            raise ServiceShutdownError("query service has been shut down")
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        ticket = QueryTicket(
+            query,
+            hints,
+            CancellationToken.with_timeout(deadline_s),
+            submitted_at=time.monotonic(),
+        )
+        try:
+            self._pending.put_nowait(ticket)
+        except queue.Full:
+            self.metrics.counter("service.admission_rejections").inc()
+            raise ServiceOverloadedError(
+                f"pending queue full ({self.config.max_pending} queries "
+                f"waiting, {self.config.max_concurrency} running)"
+            ) from None
+        self.metrics.counter("service.queries_submitted").inc()
+        return ticket
+
+    def execute(
+        self,
+        query: str,
+        hints: Optional[PlannerHints] = None,
+        deadline_s: Optional[float] = None,
+    ) -> QueryOutcome:
+        """Submit and wait: the synchronous convenience wrapper."""
+        return self.submit(query, hints, deadline_s).result()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop admitting queries; drain workers (idempotent)."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for _ in self._workers:
+            self._pending.put(_SHUTDOWN)
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Counters + histogram summaries + live cache/service gauges."""
+        snapshot = self.metrics.snapshot()
+        plan_cache = self.db.plan_cache
+        page_stats = self.db.page_cache.stats
+        snapshot["plan_cache"] = {
+            "hits": plan_cache.hits,
+            "misses": plan_cache.misses,
+            "invalidations": plan_cache.invalidations,
+            "evictions": plan_cache.evictions,
+            "size": len(plan_cache),
+            "capacity": plan_cache.capacity,
+        }
+        snapshot["page_cache"] = {
+            "hits": page_stats.hits,
+            "misses": page_stats.misses,
+            "evictions": page_stats.evictions,
+            "hit_ratio": page_stats.hit_ratio,
+        }
+        snapshot["service"] = {
+            "workers": self.config.max_concurrency,
+            "pending": self._pending.qsize(),
+            "in_flight": self._in_flight,
+            "shutdown": self._shutdown,
+        }
+        return snapshot
+
+    def _plan_cache_event(self, event: str) -> None:
+        self.metrics.counter(f"plan_cache.{event}").inc()
+
+    # ------------------------------------------------------------------
+    # Worker internals
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._pending.get()
+            if item is _SHUTDOWN:
+                return
+            with self._state_lock:
+                self._in_flight += 1
+            try:
+                self._run_ticket(item)
+            finally:
+                with self._state_lock:
+                    self._in_flight -= 1
+
+    def _run_ticket(self, ticket: QueryTicket) -> None:
+        started = time.monotonic()
+        queue_seconds = started - ticket.submitted_at
+        self.metrics.histogram("service.queue_seconds").observe(queue_seconds)
+        token = ticket.token
+        if token.cancelled:
+            self.metrics.counter("service.cancellations").inc()
+            ticket._fail(QueryCancelledError(), QueryStatus.CANCELLED)
+            return
+        if token.expired:
+            # The deadline expired while the query waited for a worker.
+            self.metrics.counter("service.timeouts").inc()
+            ticket._fail(
+                QueryTimeoutError("deadline expired in the pending queue"),
+                QueryStatus.TIMED_OUT,
+            )
+            return
+        ticket.status = QueryStatus.RUNNING
+        try:
+            outcome = self._execute_with_retry(ticket, queue_seconds)
+        except QueryTimeoutError as exc:
+            self.metrics.counter("service.timeouts").inc()
+            ticket.rows_produced = exc.rows_produced
+            ticket._fail(exc, QueryStatus.TIMED_OUT)
+        except QueryCancelledError as exc:
+            self.metrics.counter("service.cancellations").inc()
+            ticket.rows_produced = exc.rows_produced
+            ticket._fail(exc, QueryStatus.CANCELLED)
+        except BaseException as exc:  # noqa: BLE001 - report to the caller
+            self.metrics.counter("service.failures").inc()
+            ticket._fail(exc, QueryStatus.FAILED)
+        else:
+            self.metrics.counter("service.queries_completed").inc()
+            ticket._succeed(outcome)
+
+    def _execute_with_retry(
+        self, ticket: QueryTicket, queue_seconds: float
+    ) -> QueryOutcome:
+        db = self.db
+        plan_started = time.perf_counter()
+        cached = db.prepare(ticket.query, ticket.hints)
+        planning_seconds = time.perf_counter() - plan_started
+        self.metrics.histogram("service.planning_seconds").observe(
+            planning_seconds
+        )
+        is_write = cached.analyzed.is_write
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                outcome = self._execute_once(ticket, cached, is_write)
+                break
+            except TransactionError:
+                if not is_write or attempts > self.config.write_retries:
+                    raise
+                self.metrics.counter("service.retries").inc()
+                self._backoff(ticket.token, attempts)
+        outcome.planning_seconds = planning_seconds
+        outcome.queue_seconds = queue_seconds
+        outcome.attempts = attempts
+        outcome.total_seconds = (
+            queue_seconds + planning_seconds + outcome.execution_seconds
+        )
+        self.metrics.histogram("service.execution_seconds").observe(
+            outcome.execution_seconds
+        )
+        self.metrics.histogram(
+            "service.rows_produced", DEFAULT_COUNT_BUCKETS
+        ).observe(outcome.row_count)
+        self.metrics.counter("service.rows_total").inc(outcome.row_count)
+        if is_write:
+            self.metrics.counter("service.write_queries").inc()
+        else:
+            self.metrics.counter("service.read_queries").inc()
+        return outcome
+
+    def _execute_once(
+        self, ticket: QueryTicket, cached, is_write: bool
+    ) -> QueryOutcome:
+        db = self.db
+        # Page-cache deltas are approximate under concurrency (the cache is
+        # shared); they remain exact for single-worker services and useful
+        # in aggregate otherwise.
+        before = db.page_cache.stats.snapshot()
+        execution_started = time.perf_counter()
+        if is_write:
+            # The store inherits the prototype's single-writer restriction.
+            with self._write_lock:
+                result = db.execute(
+                    ticket.query, ticket.hints, token=ticket.token, prepared=cached
+                )
+                rows = self._drain(result, ticket)
+        else:
+            result = db.execute(
+                ticket.query, ticket.hints, token=ticket.token, prepared=cached
+            )
+            rows = self._drain(result, ticket)
+        execution_seconds = time.perf_counter() - execution_started
+        delta = db.page_cache.stats.delta_since(before)
+        self.metrics.histogram(
+            "service.page_hits_per_query", DEFAULT_COUNT_BUCKETS
+        ).observe(delta.hits)
+        self.metrics.histogram(
+            "service.page_misses_per_query", DEFAULT_COUNT_BUCKETS
+        ).observe(delta.misses)
+        return QueryOutcome(
+            rows=rows,
+            columns=result.columns,
+            execution_seconds=execution_seconds,
+            max_intermediate_cardinality=result.max_intermediate_cardinality,
+            page_cache_hits=delta.hits,
+            page_cache_misses=delta.misses,
+        )
+
+    @staticmethod
+    def _drain(result, ticket: QueryTicket) -> list[dict]:
+        """Materialize rows, attaching the partial count on cancellation."""
+        rows: list[dict] = []
+        try:
+            for row in result:
+                rows.append(row)
+                ticket.rows_produced = len(rows)
+        except QueryCancelledError as exc:
+            exc.rows_produced = len(rows)
+            raise
+        return rows
+
+    def _backoff(self, token: CancellationToken, attempt: int) -> None:
+        """Exponential backoff, truncated by the query's deadline."""
+        delay = min(
+            self.config.retry_backoff_s * (2 ** (attempt - 1)),
+            self.config.retry_backoff_cap_s,
+        )
+        remaining = token.remaining()
+        if remaining is not None:
+            if remaining <= 0:
+                raise QueryTimeoutError("deadline expired between retries")
+            delay = min(delay, remaining)
+        if delay > 0:
+            time.sleep(delay)
+        token.check()

@@ -16,7 +16,12 @@ Inside the REPL, statements end with ``;``. Meta-commands:
                                      :create-index k2 (:P)-[:K]->(:P)-[:K]->(:P)
     :drop-index <name>          remove a path index
     :stats                      node/relationship/index counts
+    :metrics                    query-service counters and latency histograms
     :save <dir> / :load <dir>   snapshot persistence
+
+Queries run through a :class:`repro.service.QueryService` (a 2-worker
+instance), so ``:metrics`` reflects real service traffic: latency
+histograms, plan-cache hits, page-cache deltas, retries, timeouts.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from typing import IO, Optional
 
 from repro import GraphDatabase, ReproError
 from repro.db.snapshot import load_snapshot, save_snapshot
+from repro.service import QueryService, ServiceConfig
 
 
 class Shell:
@@ -43,6 +49,11 @@ class Shell:
         self.stdout = stdout if stdout is not None else sys.stdout
         self.explain = False
         self.running = True
+        self.service = QueryService(self.db, ServiceConfig(max_concurrency=2))
+
+    def close(self) -> None:
+        """Shut down the query service (idempotent)."""
+        self.service.shutdown()
 
     # ------------------------------------------------------------------
 
@@ -75,21 +86,20 @@ class Shell:
         try:
             if self.explain:
                 self.println(self.db.explain(query))
-            result = self.db.execute(query)
-            rows = result.to_list()
+            outcome = self.service.execute(query)
         except ReproError as exc:
             self.println(f"error: {exc}")
             return
-        if result.columns:
-            self.println(" | ".join(result.columns))
-            for row in rows:
+        if outcome.columns:
+            self.println(" | ".join(outcome.columns))
+            for row in outcome.rows:
                 self.println(
-                    " | ".join(str(row.get(column)) for column in result.columns)
+                    " | ".join(str(row.get(column)) for column in outcome.columns)
                 )
         self.println(
-            f"({result.count} row{'s' if result.count != 1 else ''}, "
-            f"{result.time_to_last_result * 1e3:.2f} ms, "
-            f"max intermediate {result.max_intermediate_cardinality})"
+            f"({outcome.row_count} row{'s' if outcome.row_count != 1 else ''}, "
+            f"{outcome.total_seconds * 1e3:.2f} ms, "
+            f"max intermediate {outcome.max_intermediate_cardinality})"
         )
 
     def handle_command(self, command_line: str) -> None:
@@ -104,6 +114,7 @@ class Shell:
             ":create-index": self._cmd_create_index,
             ":drop-index": self._cmd_drop_index,
             ":stats": self._cmd_stats,
+            ":metrics": self._cmd_metrics,
             ":save": self._cmd_save,
             ":load": self._cmd_load,
         }.get(command)
@@ -166,6 +177,39 @@ class Shell:
             f"path indexes: {len(self.db.indexes)}"
         )
 
+    def _cmd_metrics(self, argument: str) -> None:
+        snapshot = self.service.metrics_snapshot()
+        self.println("counters:")
+        for name, value in snapshot["counters"].items():
+            self.println(f"  {name}: {value}")
+        self.println("histograms:")
+        for name, summary in snapshot["histograms"].items():
+            if not summary["count"]:
+                continue
+            if name.endswith("_seconds"):
+                self.println(
+                    f"  {name}: n={summary['count']} "
+                    f"mean={summary['mean'] * 1e3:.2f}ms "
+                    f"p95={summary['p95'] * 1e3:.2f}ms "
+                    f"max={summary['max'] * 1e3:.2f}ms"
+                )
+            else:
+                self.println(
+                    f"  {name}: n={summary['count']} "
+                    f"mean={summary['mean']:.1f} max={summary['max']:.0f}"
+                )
+        plan_cache = snapshot["plan_cache"]
+        self.println(
+            f"plan cache: {plan_cache['hits']} hits, {plan_cache['misses']} "
+            f"misses, {plan_cache['evictions']} evictions, "
+            f"{plan_cache['size']}/{plan_cache['capacity']} entries"
+        )
+        page_cache = snapshot["page_cache"]
+        self.println(
+            f"page cache: {page_cache['hits']} hits, {page_cache['misses']} "
+            f"misses, hit ratio {page_cache['hit_ratio']:.3f}"
+        )
+
     def _cmd_save(self, argument: str) -> None:
         if not argument:
             self.println("usage: :save <directory>")
@@ -177,7 +221,9 @@ class Shell:
         if not argument:
             self.println("usage: :load <directory>")
             return
+        self.service.shutdown()
         self.db = load_snapshot(argument)
+        self.service = QueryService(self.db, ServiceConfig(max_concurrency=2))
         self.println(f"snapshot loaded from {argument}")
 
 
@@ -201,10 +247,13 @@ def main(argv: Optional[list[str]] = None) -> int:
     else:
         db = GraphDatabase()
     shell = Shell(db)
-    if args.execute:
-        shell.execute(args.execute)
+    try:
+        if args.execute:
+            shell.execute(args.execute)
+            return 0
+        shell.run()
+        if args.snapshot:
+            save_snapshot(shell.db, args.snapshot)
         return 0
-    shell.run()
-    if args.snapshot:
-        save_snapshot(shell.db, args.snapshot)
-    return 0
+    finally:
+        shell.close()

@@ -16,6 +16,7 @@ stores themselves; the cache only tracks residency.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -108,6 +109,10 @@ class PageCache:
         self._resident_total = 0
         self._lru: OrderedDict = OrderedDict()  # (file, page) -> None
         self.enabled = True
+        # One lock guards residency state and the hit/miss/eviction
+        # counters so they stay consistent under the concurrent query
+        # service's worker threads.
+        self._lock = threading.Lock()
 
     def register_file(self, name: str) -> None:
         """Create bookkeeping for a paged file; idempotent."""
@@ -124,35 +129,37 @@ class PageCache:
         """Record an access to page ``page_id``; returns True on a hit."""
         if not self.enabled:
             return True
-        state = self._files.get(file_name)
-        if state is None:
-            state = _FileState(file_name)
-            self._files[file_name] = state
-        key = (file_name, page_id)
-        lru = self._lru
-        if key in lru:
-            lru.move_to_end(key)
-            self.stats.hits += 1
-            return True
-        self.stats.misses += 1
-        if self._resident_total >= self.capacity_pages:
-            old_key, _ = lru.popitem(last=False)
-            old_state = self._files[old_key[0]]
-            old_state.resident.pop(old_key[1], None)
-            self._resident_total -= 1
-            self.stats.evictions += 1
-        lru[key] = None
-        state.resident[page_id] = None
-        self._resident_total += 1
-        return False
+        with self._lock:
+            state = self._files.get(file_name)
+            if state is None:
+                state = _FileState(file_name)
+                self._files[file_name] = state
+            key = (file_name, page_id)
+            lru = self._lru
+            if key in lru:
+                lru.move_to_end(key)
+                self.stats.hits += 1
+                return True
+            self.stats.misses += 1
+            if self._resident_total >= self.capacity_pages:
+                old_key, _ = lru.popitem(last=False)
+                old_state = self._files[old_key[0]]
+                old_state.resident.pop(old_key[1], None)
+                self._resident_total -= 1
+                self.stats.evictions += 1
+            lru[key] = None
+            state.resident[page_id] = None
+            self._resident_total += 1
+            return False
 
     def flush(self) -> None:
         """Drop all resident pages (the paper's database re-open for cold runs)."""
-        for state in self._files.values():
-            state.resident.clear()
-        self._lru.clear()
-        self._resident_total = 0
-        self.stats.flushes += 1
+        with self._lock:
+            for state in self._files.values():
+                state.resident.clear()
+            self._lru.clear()
+            self._resident_total = 0
+            self.stats.flushes += 1
 
     @property
     def resident_pages(self) -> int:

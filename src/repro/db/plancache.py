@@ -12,9 +12,11 @@ very different cardinalities is likely stale.
 
 The cache is thread-safe (a single lock guards the LRU map and its
 counters) so the concurrent query service can share one database across
-worker threads, and capacity evictions are counted. ``on_event`` is an
-optional callback receiving ``"hit" | "miss" | "eviction" | "invalidation"``
-— the service layer points it at its metrics registry.
+worker threads, and capacity evictions are counted. Observers register a
+callback with :meth:`PlanCache.subscribe` to receive
+``"hit" | "miss" | "eviction" | "invalidation"`` events — the service layer
+points one at its metrics registry and detaches it on shutdown, so several
+services (or a replaced service) never steal each other's traffic.
 """
 
 from __future__ import annotations
@@ -59,7 +61,7 @@ class PlanCache:
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
-        self.on_event: Optional[Callable[[str], None]] = None
+        self._subscribers: list[Callable[[str], None]] = []
 
     def lookup(
         self,
@@ -103,6 +105,20 @@ class PlanCache:
                 events.append("eviction")
         self._emit(events)
 
+    def subscribe(self, callback: Callable[[str], None]) -> None:
+        """Register ``callback`` for cache events (duplicates are kept, so
+        pair each subscribe with one :meth:`unsubscribe`)."""
+        with self._lock:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[str], None]) -> None:
+        """Detach one registration of ``callback``; missing is a no-op."""
+        with self._lock:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -112,9 +128,14 @@ class PlanCache:
             return len(self._entries)
 
     def _emit(self, events: list[str]) -> None:
-        # Outside the lock: the callback may be arbitrarily slow (metrics).
-        callback = self.on_event
-        if callback is not None:
+        if not events:
+            return
+        # Callbacks run outside the lock: they may be arbitrarily slow
+        # (metrics); the snapshot keeps iteration safe against concurrent
+        # (un)subscribes.
+        with self._lock:
+            subscribers = list(self._subscribers)
+        for callback in subscribers:
             for event in events:
                 callback(event)
 

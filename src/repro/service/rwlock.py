@@ -1,0 +1,78 @@
+"""A readers-writer lock guarding the store during service execution.
+
+The storage layer (GraphStore record dicts, label index, statistics) has no
+internal locking: a read scanning those structures while a write commits can
+observe torn state or raise ``dictionary changed size during iteration``.
+Until the store gains snapshot isolation, the service brackets every query
+with this lock — reads share it (any number run concurrently), writes hold
+it exclusively.
+
+The lock is writer-preference: once a writer is waiting, new readers queue
+behind it, so a steady stream of reads cannot starve writes. It is not
+reentrant in either mode.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    """Shared/exclusive lock with writer preference."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Take the lock in shared mode (blocks while a writer holds or
+        awaits it)."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Take the lock exclusively (blocks until all readers drain)."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -14,9 +14,12 @@ behind a thread pool so many callers can execute Cypher concurrently:
   the pending queue counts against it.
 * **Write retry** — transient :class:`~repro.errors.TransactionError`
   conflicts on write queries are retried with exponential backoff under a
-  bounded attempt budget. Writes are serialized through a single writer
-  lock (the underlying store inherits the paper prototype's single-writer
-  restriction); reads run concurrently.
+  bounded attempt budget. Queries run under a
+  :class:`~repro.service.rwlock.ReadWriteLock`: reads share it (any number
+  run concurrently), writes hold it exclusively. The store's dicts have no
+  internal locking, so a read scanning concurrently with a committing
+  write would otherwise see torn state; the shared/exclusive bracket keeps
+  reads parallel with each other while isolating them from writes.
 * **Metrics** — a :class:`~repro.service.metrics.MetricsRegistry` records
   planning/execution latency, rows produced, rejections, timeouts, retries,
   plan-cache traffic and page-cache deltas; see :meth:`metrics_snapshot`.
@@ -48,6 +51,7 @@ from repro.errors import (
 from repro.planner import PlannerHints
 from repro.service.cancellation import CancellationToken
 from repro.service.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
+from repro.service.rwlock import ReadWriteLock
 
 _SHUTDOWN = object()
 
@@ -183,13 +187,23 @@ class QueryService:
         self.db = db
         self.config = config or ServiceConfig()
         self.metrics = MetricsRegistry()
-        self._pending: queue.Queue = queue.Queue(maxsize=self.config.max_pending)
-        self._write_lock = threading.Lock()
+        # The queue itself is unbounded; admission control is enforced by
+        # _pending_count under _lock, so shutdown's sentinel puts can never
+        # block behind a full queue.
+        self._pending: queue.Queue = queue.Queue()
+        self._rw_lock = ReadWriteLock()
+        # _lock guards _shutdown, _pending_count and _in_flight, and makes
+        # submit's shutdown-check + enqueue atomic against shutdown's
+        # flag-set + drain + sentinel puts (a ticket can never land behind
+        # the sentinels and hang its caller).
+        self._lock = threading.Lock()
         self._shutdown = False
-        self._state_lock = threading.Lock()
+        self._pending_count = 0
         self._in_flight = 0
-        # Plan-cache traffic feeds the registry as it happens.
-        db.plan_cache.on_event = self._plan_cache_event
+        # Plan-cache traffic feeds the registry as it happens; detached
+        # again in shutdown() so replaced or parallel services never steal
+        # each other's events.
+        db.plan_cache.subscribe(self._plan_cache_event)
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -217,8 +231,6 @@ class QueryService:
         full and :class:`ServiceShutdownError` after :meth:`shutdown`. The
         deadline clock starts now — queue wait counts against it.
         """
-        if self._shutdown:
-            raise ServiceShutdownError("query service has been shut down")
         if deadline_s is None:
             deadline_s = self.config.default_deadline_s
         ticket = QueryTicket(
@@ -227,14 +239,19 @@ class QueryService:
             CancellationToken.with_timeout(deadline_s),
             submitted_at=time.monotonic(),
         )
-        try:
-            self._pending.put_nowait(ticket)
-        except queue.Full:
+        with self._lock:
+            if self._shutdown:
+                raise ServiceShutdownError("query service has been shut down")
+            admitted = self._pending_count < self.config.max_pending
+            if admitted:
+                self._pending_count += 1
+                self._pending.put(ticket)
+        if not admitted:
             self.metrics.counter("service.admission_rejections").inc()
             raise ServiceOverloadedError(
                 f"pending queue full ({self.config.max_pending} queries "
                 f"waiting, {self.config.max_concurrency} running)"
-            ) from None
+            )
         self.metrics.counter("service.queries_submitted").inc()
         return ticket
 
@@ -251,13 +268,47 @@ class QueryService:
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop admitting queries; drain workers (idempotent)."""
-        if self._shutdown:
-            return
-        self._shutdown = True
-        for _ in self._workers:
-            self._pending.put(_SHUTDOWN)
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop admitting queries and drain workers (idempotent).
+
+        By default queued queries still execute before the workers exit.
+        With ``cancel_pending=True`` the pending queue is shed instead:
+        queued tickets fail immediately with
+        :class:`ServiceShutdownError`, so shutdown never waits behind work
+        that has not started (running queries always finish — cancel their
+        tickets first if they should not).
+        """
+        with self._lock:
+            first = not self._shutdown
+            self._shutdown = True
+            shed: list[QueryTicket] = []
+            if cancel_pending:
+                sentinels = 0
+                while True:
+                    try:
+                        item = self._pending.get_nowait()
+                    except queue.Empty:
+                        break
+                    if item is _SHUTDOWN:
+                        sentinels += 1
+                    else:
+                        shed.append(item)
+                self._pending_count -= len(shed)
+                for _ in range(sentinels):
+                    self._pending.put(_SHUTDOWN)
+            if first:
+                # The queue is unbounded, so these puts cannot block even
+                # when max_pending tickets are still queued ahead of them.
+                for _ in self._workers:
+                    self._pending.put(_SHUTDOWN)
+        for ticket in shed:
+            self.metrics.counter("service.shed_on_shutdown").inc()
+            ticket._fail(
+                ServiceShutdownError("query service shut down before start"),
+                QueryStatus.CANCELLED,
+            )
+        if first:
+            self.db.plan_cache.unsubscribe(self._plan_cache_event)
         if wait:
             for worker in self._workers:
                 worker.join()
@@ -291,12 +342,13 @@ class QueryService:
             "evictions": page_stats.evictions,
             "hit_ratio": page_stats.hit_ratio,
         }
-        snapshot["service"] = {
-            "workers": self.config.max_concurrency,
-            "pending": self._pending.qsize(),
-            "in_flight": self._in_flight,
-            "shutdown": self._shutdown,
-        }
+        with self._lock:
+            snapshot["service"] = {
+                "workers": self.config.max_concurrency,
+                "pending": self._pending_count,
+                "in_flight": self._in_flight,
+                "shutdown": self._shutdown,
+            }
         return snapshot
 
     def _plan_cache_event(self, event: str) -> None:
@@ -311,12 +363,13 @@ class QueryService:
             item = self._pending.get()
             if item is _SHUTDOWN:
                 return
-            with self._state_lock:
+            with self._lock:
+                self._pending_count -= 1
                 self._in_flight += 1
             try:
                 self._run_ticket(item)
             finally:
-                with self._state_lock:
+                with self._lock:
                     self._in_flight -= 1
 
     def _run_ticket(self, ticket: QueryTicket) -> None:
@@ -404,14 +457,15 @@ class QueryService:
         # in aggregate otherwise.
         before = db.page_cache.stats.snapshot()
         execution_started = time.perf_counter()
+        # The store's dicts have no internal locking, so execution AND the
+        # drain happen under the readers-writer lock: reads share it with
+        # each other but never overlap a committing write (which would
+        # raise "dictionary changed size during iteration" or tear rows).
         if is_write:
-            # The store inherits the prototype's single-writer restriction.
-            with self._write_lock:
-                result = db.execute(
-                    ticket.query, ticket.hints, token=ticket.token, prepared=cached
-                )
-                rows = self._drain(result, ticket)
+            lock = self._rw_lock.write_locked()
         else:
+            lock = self._rw_lock.read_locked()
+        with lock:
             result = db.execute(
                 ticket.query, ticket.hints, token=ticket.token, prepared=cached
             )

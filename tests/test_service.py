@@ -314,6 +314,155 @@ def test_concurrent_counters_are_consistent():
         assert counters["plan_cache.hit"] == total - 1
 
 
+def test_mixed_read_write_stress():
+    """Reads scanning the store while writes commit must neither crash
+    ("dictionary changed size during iteration") nor tear results: under
+    the readers-writer lock every read sees a committed prefix of the
+    writes."""
+    db = GraphDatabase()
+    for i in range(30):
+        db.create_node(["P"], {"i": i})
+    writes = 40
+    with QueryService(db, ServiceConfig(max_concurrency=4, max_pending=256)) as service:
+        errors = []
+        read_counts = []
+
+        def writer():
+            for i in range(writes):
+                try:
+                    service.execute(f"CREATE (w:W {{i: {i}}})")
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+        def reader():
+            for _ in range(40):
+                try:
+                    outcome = service.execute(
+                        "MATCH (n:W) RETURN n.i AS i"
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                else:
+                    read_counts.append(outcome.row_count)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # Each read saw some committed prefix of the write stream.
+        assert all(0 <= count <= writes for count in read_counts)
+        final = service.execute("MATCH (n:W) RETURN n.i AS i")
+        assert sorted(row["i"] for row in final.rows) == list(range(writes))
+
+
+def test_shutdown_cancel_pending_sheds_queued_work(big_db):
+    config = ServiceConfig(max_concurrency=1, max_pending=8)
+    service = QueryService(big_db, config)
+    blocker = service.submit(CROSS_QUERY)
+    # Let the single worker actually pick the blocker up so it is the one
+    # query that runs to completion.
+    deadline = time.monotonic() + 30
+    while blocker.status is QueryStatus.PENDING and time.monotonic() < deadline:
+        time.sleep(0.001)
+    queued = [service.submit("MATCH (n:P) RETURN n") for _ in range(4)]
+    service.shutdown(wait=True, cancel_pending=True)
+    # The running query finishes; everything still queued fails fast.
+    blocker.result(timeout=60)
+    shed = 0
+    for ticket in queued:
+        if ticket.status is QueryStatus.CANCELLED:
+            with pytest.raises(ServiceShutdownError):
+                ticket.result(timeout=1)
+            shed += 1
+        else:  # raced onto the worker before shutdown drained the queue
+            ticket.result(timeout=60)
+    assert shed > 0
+    counters = service.metrics_snapshot()["counters"]
+    assert counters["service.shed_on_shutdown"] == shed
+
+
+def test_shutdown_detaches_plan_cache_subscription(small_db):
+    service = QueryService(small_db)
+    service.execute("MATCH (n:P) RETURN n.i AS i")
+    service.shutdown()
+    before = dict(service.metrics_snapshot()["counters"])
+    # Direct db traffic after shutdown must not leak into the old registry.
+    small_db.execute("MATCH (n:P) RETURN n.i AS i").to_list()
+    replacement = QueryService(small_db)
+    try:
+        replacement.execute("MATCH (n:P) RETURN n.i AS i")
+        assert (
+            service.metrics_snapshot()["counters"].get("plan_cache.hit", 0)
+            == before.get("plan_cache.hit", 0)
+        )
+        assert replacement.metrics_snapshot()["counters"]["plan_cache.hit"] >= 1
+    finally:
+        replacement.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Readers-writer lock
+# ----------------------------------------------------------------------
+
+
+def test_rwlock_readers_share_writers_exclude():
+    from repro.service.rwlock import ReadWriteLock
+
+    lock = ReadWriteLock()
+    peak_readers = [0]
+    active = [0]
+    gate = threading.Barrier(4)
+    state_lock = threading.Lock()
+
+    def reader():
+        gate.wait()
+        with lock.read_locked():
+            with state_lock:
+                active[0] += 1
+                peak_readers[0] = max(peak_readers[0], active[0])
+            time.sleep(0.02)
+            with state_lock:
+                active[0] -= 1
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert peak_readers[0] > 1  # shared mode really is shared
+
+    events = []
+    with lock.read_locked():
+        writer = threading.Thread(
+            target=lambda: (lock.acquire_write(), events.append("w"), lock.release_write())
+        )
+        writer.start()
+        time.sleep(0.02)
+        assert events == []  # writer blocked while a reader holds the lock
+    writer.join(timeout=5)
+    assert events == ["w"]
+
+
+def test_rwlock_writer_excludes_readers():
+    from repro.service.rwlock import ReadWriteLock
+
+    lock = ReadWriteLock()
+    events = []
+    with lock.write_locked():
+        reader = threading.Thread(
+            target=lambda: (lock.acquire_read(), events.append("r"), lock.release_read())
+        )
+        reader.start()
+        time.sleep(0.02)
+        assert events == []  # reader blocked behind the writer
+    reader.join(timeout=5)
+    assert events == ["r"]
+
+
 # ----------------------------------------------------------------------
 # Cancellation token + metrics primitives
 # ----------------------------------------------------------------------
@@ -373,7 +522,7 @@ def test_plan_cache_eviction_counter():
 
     events = []
     cache = PlanCache(capacity=2)
-    cache.on_event = events.append
+    cache.subscribe(events.append)
     for index in range(4):
         cache.store(
             f"q{index}",

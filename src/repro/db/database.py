@@ -22,7 +22,7 @@ from typing import Iterable, Optional, Union
 from repro.cypher import analyze, parse
 from repro.db.plancache import CachedQuery, PlanCache
 from repro.db.result import Result
-from repro.errors import PathIndexError
+from repro.errors import PathIndexError, ReproError
 from repro.pathindex.index import PathIndex
 from repro.pathindex.initialization import InitializationStats, initialize_index
 from repro.pathindex.maintenance import QUERY_BASED, PathIndexMaintainer
@@ -61,7 +61,13 @@ class GraphDatabase:
         miss_latency_s: float = DEFAULT_MISS_LATENCY_S,
         dense_node_threshold: int = DEFAULT_DENSE_NODE_THRESHOLD,
         maintenance_strategy: str = QUERY_BASED,
+        execution_mode: str = "batched",
     ) -> None:
+        if execution_mode not in ("row", "batched"):
+            raise ReproError(f"unknown execution mode {execution_mode!r}")
+        #: Default engine for :meth:`execute` — "batched" (morsel-at-a-time
+        #: over slot rows) or "row" (the legacy tuple-at-a-time pipeline).
+        self.execution_mode = execution_mode
         self.page_cache = PageCache(page_cache_pages, page_size, miss_latency_s)
         self.store = GraphStore(self.page_cache, dense_node_threshold)
         self.indexes = PathIndexStore(self.page_cache)
@@ -180,6 +186,7 @@ class GraphDatabase:
         hints: Optional[PlannerHints] = None,
         token: Optional[object] = None,
         prepared: Optional[CachedQuery] = None,
+        execution_mode: Optional[str] = None,
     ) -> Result:
         """Parse, plan and run a Cypher query; returns a timed Result.
 
@@ -187,21 +194,29 @@ class GraphDatabase:
         (committing an implicit transaction unless one is already open) and
         return materialized rows. ``token`` is an optional cooperative
         cancellation token (``repro.service.CancellationToken``) checked at
-        row boundaries; a cancelled/timed-out write rolls back. ``prepared``
-        (from :meth:`prepare`) skips the plan-cache lookup — the service
-        layer uses it so planning is looked up and timed exactly once.
+        row/morsel boundaries; a cancelled/timed-out write rolls back.
+        ``prepared`` (from :meth:`prepare`) skips the plan-cache lookup —
+        the service layer uses it so planning is looked up and timed
+        exactly once. ``execution_mode`` selects the engine per call
+        ("batched" or "row"), defaulting to the database-wide
+        :attr:`execution_mode`.
         """
         submitted = time.perf_counter()
+        mode = execution_mode if execution_mode is not None else self.execution_mode
+        if mode not in ("row", "batched"):
+            raise ReproError(f"unknown execution mode {mode!r}")
         cached = prepared if prepared is not None else self._planned(query_text, hints)
         executor = Executor(
             self.store, self.indexes, cached.analyzed.variable_kinds
         )
         if not cached.analyzed.is_write:
-            rows, profile = executor.execute(cached.planned_parts, token=token)
+            rows, profile = executor.execute(
+                cached.planned_parts, token=token, mode=mode
+            )
             return Result(rows, cached.columns, profile, submitted)
         with self._write_tx() as (tx, own):
             rows, profile = executor.execute(
-                cached.planned_parts, transaction=tx, token=token
+                cached.planned_parts, transaction=tx, token=token, mode=mode
             )
             materialized = list(rows)
             if own:

@@ -114,6 +114,9 @@ def save_snapshot(db: GraphDatabase, directory: Union[str, Path]) -> Path:
                 "first_out": g.first_out,
                 "first_in": g.first_in,
                 "first_loop": g.first_loop,
+                "count_out": g.count_out,
+                "count_in": g.count_in,
+                "count_loop": g.count_loop,
             }
             for g in store.groups.dump_records().values()
         ),

@@ -18,6 +18,7 @@ from repro.errors import ReproError, TransactionError
 from repro.pathindex.store import PathIndexStore
 from repro.planner.plans import LogicalPlan
 from repro.querygraph import QueryPart, UpdateAction
+from repro.runtime.batched import SlotLayout, compile_batched_plan
 from repro.runtime.expressions import EvaluationContext, evaluate
 from repro.runtime.operators import (
     OperatorProfile,
@@ -66,12 +67,19 @@ class Executor:
         transaction: Optional[Transaction] = None,
         initial_row: Optional[Row] = None,
         token: Optional[object] = None,
+        mode: str = "row",
+        morsel_size: Optional[int] = None,
     ) -> tuple[Iterator[Row], ExecutionProfile]:
         """Build the row iterator for the whole query; lazy for reads.
 
         ``token`` is an optional cooperative cancellation token (see
-        ``repro.service.cancellation``) checked at row boundaries.
+        ``repro.service.cancellation``) checked at row boundaries (``mode
+        ="row"``) or morsel boundaries (``mode="batched"``). ``mode``
+        selects the execution engine; ``morsel_size`` overrides the
+        batched engine's batch size (mainly for tests).
         """
+        if mode not in ("row", "batched"):
+            raise ReproError(f"unknown execution mode {mode!r}")
         profile = ExecutionProfile([plan for _, plan in planned_parts])
         ctx = RuntimeContext(
             self.store,
@@ -80,9 +88,12 @@ class Executor:
             profile.operators,
             token=token,
         )
+        if morsel_size is not None:
+            ctx.morsel_size = morsel_size
+        run_part = self._run_part_batched if mode == "batched" else self._run_part
         rows: Iterator[Row] = iter([initial_row or Row.empty()])
         for part, plan in planned_parts:
-            rows = self._run_part(rows, part, plan, ctx, transaction)
+            rows = run_part(rows, part, plan, ctx, transaction)
         return rows, profile
 
     # ------------------------------------------------------------------
@@ -105,6 +116,61 @@ class Executor:
         if transaction is None:
             raise TransactionError("update query requires an open transaction")
         return self._run_update_part(input_rows, part, pipeline, transaction)
+
+    def _run_part_batched(
+        self,
+        input_rows: Iterator[Row],
+        part: QueryPart,
+        plan: LogicalPlan,
+        ctx: RuntimeContext,
+        transaction: Optional[Transaction],
+    ) -> Iterator[Row]:
+        """Batched counterpart of :meth:`_run_part`.
+
+        Each part gets its own :class:`SlotLayout`; argument rows convert
+        to slot rows on entry (Apply semantics are preserved — the batched
+        pipeline is still invoked once per argument row) and back to
+        :class:`Row` at the part boundary. Read parts with a projection
+        rebuild rows from the projection's output columns, keeping
+        explicit None values, exactly like ``Row.project``.
+        """
+        layout = SlotLayout()
+        pipeline = compile_batched_plan(plan, ctx, layout)
+        if not part.updates:
+            if part.projection:
+                out_slots = [
+                    (item.output_name, layout.slot_of(item.output_name))
+                    for item in part.projection
+                ]
+
+                def run_read() -> Iterator[Row]:
+                    for arg_row in input_rows:
+                        for morsel in pipeline(layout.row_from(arg_row)):
+                            for slot_row in morsel:
+                                yield Row(
+                                    {
+                                        name: slot_row[slot]
+                                        for name, slot in out_slots
+                                    }
+                                )
+            else:
+
+                def run_read() -> Iterator[Row]:
+                    for arg_row in input_rows:
+                        for morsel in pipeline(layout.row_from(arg_row)):
+                            for slot_row in morsel:
+                                yield layout.row_to(slot_row)
+
+            return run_read()
+        if transaction is None:
+            raise TransactionError("update query requires an open transaction")
+
+        def row_pipeline(arg_row: Row) -> Iterator[Row]:
+            for morsel in pipeline(layout.row_from(arg_row)):
+                for slot_row in morsel:
+                    yield layout.row_to(slot_row)
+
+        return self._run_update_part(input_rows, part, row_pipeline, transaction)
 
     def _run_update_part(
         self,

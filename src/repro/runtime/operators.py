@@ -81,8 +81,10 @@ class RuntimeContext:
 
     ``token`` (when set) is a cooperative cancellation token — see
     ``repro.service.cancellation`` — checked at every operator's row
-    boundary, so deadline expiry or an explicit cancel stops a query
-    mid-scan instead of letting it run to completion.
+    boundary (row engine) or morsel boundary (batched engine), so deadline
+    expiry or an explicit cancel stops a query mid-scan instead of letting
+    it run to completion. ``morsel_size`` is the batch size used by the
+    batched engine; the row engine ignores it.
     """
 
     def __init__(
@@ -92,12 +94,14 @@ class RuntimeContext:
         eval_ctx: EvaluationContext,
         profile: OperatorProfile,
         token: Optional[object] = None,
+        morsel_size: int = 1024,
     ) -> None:
         self.store = store
         self.index_store = index_store
         self.eval_ctx = eval_ctx
         self.profile = profile
         self.token = token
+        self.morsel_size = morsel_size
 
 
 def compile_plan(plan: LogicalPlan, ctx: RuntimeContext) -> RunFn:
@@ -214,9 +218,16 @@ def _all_nodes_scan(plan: PlanAllNodesScan, ctx: RuntimeContext) -> RunFn:
 def _node_by_label_scan(plan: PlanNodeByLabelScan, ctx: RuntimeContext) -> RunFn:
     node_var = plan.node
     post = [label_id for _, label_id in _label_ids(ctx, plan.post_labels)]
+    # Hoisted out of ``run``; the fallback covers labels created by an
+    # earlier part of the same query (parts compile before rows flow).
+    label_id_static = ctx.store.labels.id_of(plan.label)
 
     def run(arg_row: Row) -> Iterator[Row]:
-        label_id = ctx.store.labels.id_of(plan.label)
+        label_id = (
+            label_id_static
+            if label_id_static is not None
+            else ctx.store.labels.id_of(plan.label)
+        )
         if label_id is None:
             return
         bound = arg_row.values.get(node_var)
@@ -260,8 +271,11 @@ def _relationship_by_type_scan(
                 ok = True
                 for var, label_id in label_checks:
                     node_id = values.get(var, arg_row.values.get(var))
-                    if label_id is None or not ctx.store.has_label(
-                        int(node_id), label_id
+                    # An unbound check variable can never satisfy the label.
+                    if (
+                        node_id is None
+                        or label_id is None
+                        or not ctx.store.has_label(int(node_id), label_id)
                     ):
                         ok = False
                         break
@@ -276,16 +290,26 @@ def _relationship_by_type_scan(
 # ---------------------------------------------------------------------------
 
 
+def _resolve_type_ids(ctx: RuntimeContext, names) -> set[int]:
+    resolved = {ctx.store.types.id_of(name) for name in names}
+    resolved.discard(None)
+    return resolved
+
+
 def _expand(plan: PlanExpand, ctx: RuntimeContext) -> RunFn:
     child = compile_plan(plan.children[0], ctx)
     post = [label_id for _, label_id in _label_ids(ctx, plan.post_labels)]
+    # Hoisted: types resolved once at compile time; re-resolved at run start
+    # only while incomplete (a type may be created by an earlier query part).
+    static_type_ids = _resolve_type_ids(ctx, plan.types) if plan.types else None
 
     def run(arg_row: Row) -> Iterator[Row]:
         type_ids: Optional[set[int]] = None
         single_type: Optional[int] = None
         if plan.types:
-            resolved = {ctx.store.types.id_of(name) for name in plan.types}
-            resolved.discard(None)
+            resolved = static_type_ids
+            if len(resolved) < len(plan.types):
+                resolved = _resolve_type_ids(ctx, plan.types)
             if not resolved:
                 return  # none of the requested types exist
             if len(resolved) == 1:
@@ -474,15 +498,50 @@ def _path_index_filtered_scan(
         raise ReproError("PathIndexFilteredScan requires a path index store")
     index = ctx.index_store.get(plan.index_name)
     bind = _entry_binder(plan, ctx)
+    width = len(plan.entry_vars)
+    must_differ, must_equal, residual_predicates = _filtered_scan_constraints(plan)
+
+    def run(arg_row: Row) -> Iterator[Row]:
+        lower = (0,) * width
+        while True:
+            restart: Optional[tuple[int, ...]] = None
+            for entry in index.scan_from(lower):
+                violation = _skip_target(entry, must_differ, must_equal, width)
+                if violation is not None:
+                    restart = violation
+                    break
+                row = bind(entry, arg_row)
+                if row is None:
+                    continue
+                if all(
+                    is_true(predicate, row, ctx.eval_ctx)
+                    for predicate in residual_predicates
+                ):
+                    yield row
+            if restart is None:
+                return
+            lower = restart
+
+    return run
+
+
+def _filtered_scan_constraints(
+    plan: PlanPathIndexFilteredScan,
+) -> tuple[
+    list[tuple[int, int]], list[tuple[int, int]], list[ast.Expression]
+]:
+    """Skip-scan constraints (§5.1.2), shared by both engines.
+
+    Returns ``(must_differ, must_equal, residual_predicates)``: pairs of
+    entry positions that must differ (relationship uniqueness and top-level
+    ``x <> y`` predicates over two entry variables), pairs that must be equal
+    (repeated variables), and the predicates the skip-scan cannot absorb.
+    """
     entry_vars = plan.entry_vars
     width = len(entry_vars)
-    position_of = {}
+    position_of: dict[str, int] = {}
     for position, var in enumerate(entry_vars):
         position_of.setdefault(var, position)
-
-    # Skip-scan constraints (§5.1.2): pairs of entry positions that must
-    # differ. Sources: repeated relationship positions (uniqueness) and
-    # top-level `x <> y` predicates over two entry variables.
     must_differ: list[tuple[int, int]] = []
     must_equal: list[tuple[int, int]] = []
     residual_predicates: list[ast.Expression] = []
@@ -508,47 +567,23 @@ def _path_index_filtered_scan(
             residual_predicates.append(predicate)
     must_differ.sort(key=lambda pair: pair[1])
     must_equal.sort(key=lambda pair: pair[1])
+    return must_differ, must_equal, residual_predicates
 
-    def run(arg_row: Row) -> Iterator[Row]:
-        lower = (0,) * width
-        while True:
-            restart: Optional[tuple[int, ...]] = None
-            for entry in index.scan_from(lower):
-                violation = _constraint_violation(entry, must_differ, must_equal)
-                if violation is not None:
-                    restart = violation
-                    break
-                row = bind(entry, arg_row)
-                if row is None:
-                    continue
-                if all(
-                    is_true(predicate, row, ctx.eval_ctx)
-                    for predicate in residual_predicates
-                ):
-                    yield row
-            if restart is None:
-                return
-            lower = restart
 
-    def _constraint_violation(entry, differ, equal):
-        for i, j in differ:
-            if entry[i] == entry[j]:
-                return entry[:j] + (entry[j] + 1,) + (0,) * (width - j - 1)
-        for i, j in equal:
-            target = entry[i]
-            if entry[j] < target:
-                return entry[:j] + (target,) + (0,) * (width - j - 1)
-            if entry[j] > target:
-                if j == 0:
-                    return None  # cannot happen: position 0 pairs with itself
-                return (
-                    entry[: j - 1]
-                    + (entry[j - 1] + 1,)
-                    + (0,) * (width - j)
-                )
-        return None
-
-    return run
+def _skip_target(entry, differ, equal, width) -> Optional[tuple[int, ...]]:
+    """First key past the violating subtree, or None if ``entry`` is clean."""
+    for i, j in differ:
+        if entry[i] == entry[j]:
+            return entry[:j] + (entry[j] + 1,) + (0,) * (width - j - 1)
+    for i, j in equal:
+        target = entry[i]
+        if entry[j] < target:
+            return entry[:j] + (target,) + (0,) * (width - j - 1)
+        if entry[j] > target:
+            if j == 0:
+                return None  # cannot happen: position 0 pairs with itself
+            return entry[: j - 1] + (entry[j - 1] + 1,) + (0,) * (width - j)
+    return None
 
 
 def _neq_entry_pair(predicate, position_of) -> Optional[tuple[int, int]]:
@@ -634,11 +669,14 @@ class _Accumulator:
         self.seen: set = set()
 
     def feed(self, row, ctx: RuntimeContext) -> None:
-        name = self.call.name
         if self.call.star:  # count(*)
             self.count += 1
             return
-        value = evaluate(self.call.argument, row, ctx.eval_ctx)
+        self.feed_value(evaluate(self.call.argument, row, ctx.eval_ctx))
+
+    def feed_value(self, value) -> None:
+        """Accumulate an already-evaluated argument (batched engine path)."""
+        name = self.call.name
         if value is None:
             return  # aggregates skip NULLs (Cypher semantics)
         if self.call.distinct:

@@ -84,3 +84,16 @@ class CancellationToken:
         if self._expired or self._ticks % DEADLINE_STRIDE == 0:
             if self.expired:
                 raise QueryTimeoutError(rows_produced=rows_produced)
+
+    def check_batch(self, rows_produced: int = 0) -> None:
+        """Like :meth:`check`, but always consults the deadline clock.
+
+        The batched runtime checks once per morsel (~1024 rows), so the
+        stride amortization of :meth:`check` would stretch deadline
+        detection to tens of thousands of rows; one clock read per batch is
+        already amortized.
+        """
+        if self._cancelled:
+            raise QueryCancelledError(rows_produced=rows_produced)
+        if self.deadline is not None and self.expired:
+            raise QueryTimeoutError(rows_produced=rows_produced)

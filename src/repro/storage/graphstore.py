@@ -184,12 +184,50 @@ class GraphStore:
         direction: Direction = Direction.BOTH,
         type_id: Optional[int] = None,
     ) -> int:
-        """Degree of ``node_id``; O(1) for BOTH/any-type, chain walk otherwise."""
+        """Degree of ``node_id``, honouring direction and type filters.
+
+        O(1) for BOTH/any-type (the degree counter), and for dense nodes
+        also with a direction and/or ``type_id`` filter via the
+        relationship-group counts (one group record read per type, no chain
+        walk). Sparse nodes with a filter walk their chain, which the dense
+        threshold bounds. Loops count once in every direction, matching
+        :meth:`relationships_of`.
+        """
         if direction is Direction.BOTH and type_id is None:
             if not self.nodes.exists(node_id):
                 raise RecordNotFoundError(f"no node {node_id}")
             return self._degrees.get(node_id, 0)
+        record = self.nodes.read(node_id)
+        if record.dense:
+            if type_id is not None:
+                group_id = self._group_lookup.get(node_id, {}).get(type_id)
+                if group_id is None:
+                    return 0
+                return self._group_degree(self.groups.read(group_id), direction)
+            total = 0
+            group_ptr = record.first_rel
+            while group_ptr != NO_ID:
+                group = self.groups.read(group_ptr)
+                total += self._group_degree(group, direction)
+                group_ptr = group.next_group
+            return total
         return sum(1 for _ in self.relationships_of(node_id, direction, type_id))
+
+    def _chain_length(self, head: int, node_id: int) -> int:
+        count = 0
+        rel_ptr = head
+        while rel_ptr != NO_ID:
+            count += 1
+            rel_ptr = self.relationships.read(rel_ptr).chain_next(node_id)
+        return count
+
+    @staticmethod
+    def _group_degree(group: RelationshipGroupRecord, direction: Direction) -> int:
+        if direction is Direction.OUTGOING:
+            return group.count_out + group.count_loop
+        if direction is Direction.INCOMING:
+            return group.count_in + group.count_loop
+        return group.count_out + group.count_in + group.count_loop
 
     # ------------------------------------------------------------------
     # Relationships
@@ -427,14 +465,18 @@ class GraphStore:
         lookup[type_id] = group_id
         return group
 
+    @staticmethod
+    def _group_chain(rel: RelationshipRecord, node_id: int) -> tuple[str, str]:
+        """The (head, count) attribute pair of ``rel`` in ``node_id``'s group."""
+        if rel.start_node == rel.end_node:
+            return "first_loop", "count_loop"
+        if node_id == rel.start_node:
+            return "first_out", "count_out"
+        return "first_in", "count_in"
+
     def _link_into_group(self, rel: RelationshipRecord, node_id: int) -> None:
         group = self._group_for(node_id, rel.type_id)
-        if rel.start_node == rel.end_node:
-            head_attr = "first_loop"
-        elif node_id == rel.start_node:
-            head_attr = "first_out"
-        else:
-            head_attr = "first_in"
+        head_attr, count_attr = self._group_chain(rel, node_id)
         head = getattr(group, head_attr)
         self._set_chain_pointers(rel, node_id, prev=NO_ID, next_=head)
         if head != NO_ID:
@@ -442,18 +484,14 @@ class GraphStore:
             self._set_chain_prev(old_head, node_id, rel.id)
             self.relationships.write(head, old_head)
         setattr(group, head_attr, rel.id)
+        setattr(group, count_attr, getattr(group, count_attr) + 1)
         self.groups.write(group.id, group)
         self.relationships.write(rel.id, rel)
 
     def _unlink_from_group(self, rel: RelationshipRecord, node_id: int) -> None:
         group_id = self._group_lookup[node_id][rel.type_id]
         group = self.groups.read(group_id)
-        if rel.start_node == rel.end_node:
-            head_attr = "first_loop"
-        elif node_id == rel.start_node:
-            head_attr = "first_out"
-        else:
-            head_attr = "first_in"
+        head_attr, count_attr = self._group_chain(rel, node_id)
         prev_id = self._chain_prev(rel, node_id)
         next_id = rel.chain_next(node_id)
         if prev_id != NO_ID:
@@ -462,7 +500,10 @@ class GraphStore:
             self.relationships.write(prev_id, prev)
         else:
             setattr(group, head_attr, next_id)
-            self.groups.write(group_id, group)
+        setattr(group, count_attr, getattr(group, count_attr) - 1)
+        # The count changed even when the head pointer did not, so the
+        # group record is always written back.
+        self.groups.write(group_id, group)
         if next_id != NO_ID:
             nxt = self.relationships.read(next_id)
             self._set_chain_prev(nxt, node_id, prev_id)
@@ -602,6 +643,12 @@ class GraphStore:
                 while group_ptr != NO_ID:
                     group = self.groups.read(group_ptr)
                     lookup[group.type_id] = group.id
+                    # Recompute chain counts from the chains themselves so
+                    # snapshots predating the counters restore correctly.
+                    group.count_out = self._chain_length(group.first_out, node_id)
+                    group.count_in = self._chain_length(group.first_in, node_id)
+                    group.count_loop = self._chain_length(group.first_loop, node_id)
+                    self.groups.write(group.id, group)
                     group_ptr = group.next_group
         for rel_id in self.relationships.ids_in_use():
             record = self.relationships.read(rel_id)

@@ -184,6 +184,47 @@ def test_dense_node_delete_and_direction(store):
     assert ins == sorted(in_rels)
 
 
+def test_dense_node_degree_matches_chain_walk(store):
+    """The O(1) group-count degree must agree with an explicit chain walk
+    for every direction x type filter, including loops and after deletes."""
+    import random
+
+    rng = random.Random(11)
+    t1 = store.types.get_or_create("T1")
+    t2 = store.types.get_or_create("T2")
+    unused = store.types.get_or_create("UNUSED")
+    hub = store.create_node()
+    others = [store.create_node() for _ in range(10)]
+    rels = []
+    for _ in range(80):
+        kind = rng.randrange(3)
+        type_id = rng.choice((t1, t2))
+        if kind == 0:
+            rels.append(store.create_relationship(hub, rng.choice(others), type_id))
+        elif kind == 1:
+            rels.append(store.create_relationship(rng.choice(others), hub, type_id))
+        else:
+            rels.append(store.create_relationship(hub, hub, type_id))
+    assert store.node(hub).dense
+
+    def check():
+        for direction in (Direction.OUTGOING, Direction.INCOMING, Direction.BOTH):
+            for type_id in (None, t1, t2, unused):
+                walked = sum(
+                    1 for _ in store.relationships_of(hub, direction, type_id)
+                )
+                assert store.degree(hub, direction, type_id) == walked, (
+                    direction,
+                    type_id,
+                )
+
+    check()
+    rng.shuffle(rels)
+    for rel_id in rels[:40]:
+        store.delete_relationship(rel_id)
+        check()
+
+
 def test_node_properties(store):
     name = store.property_keys.get_or_create("name")
     age = store.property_keys.get_or_create("age")

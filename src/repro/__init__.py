@@ -17,10 +17,17 @@ Public API highlights:
 """
 
 from repro.db import GraphDatabase, IndexCreationStats, Result
+from repro.durability import (
+    DurabilityConfig,
+    DurabilityEngine,
+    FaultInjector,
+    SimulatedCrashError,
+)
 from repro.errors import (
     ConstraintViolationError,
     CypherSemanticError,
     CypherSyntaxError,
+    DurabilityError,
     PathIndexError,
     PatternSyntaxError,
     PlannerError,
@@ -52,6 +59,10 @@ __all__ = [
     "ConstraintViolationError",
     "CypherSemanticError",
     "CypherSyntaxError",
+    "DurabilityConfig",
+    "DurabilityEngine",
+    "DurabilityError",
+    "FaultInjector",
     "GraphDatabase",
     "IndexCreationStats",
     "MetricsRegistry",
@@ -72,6 +83,7 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceShutdownError",
+    "SimulatedCrashError",
     "StorageError",
     "TransactionError",
     "__version__",

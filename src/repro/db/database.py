@@ -82,6 +82,53 @@ class GraphDatabase:
         # The §4.1.1 query cache. Maintenance queries bypass it by design
         # (they plan directly via run_pattern_query).
         self.plan_cache = PlanCache()
+        #: Set by :meth:`open` — the durability engine persisting commits to
+        #: a write-ahead log. ``None`` for purely in-memory databases.
+        self.durability = None
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory,
+        durability_config=None,
+        fault_injector=None,
+        **kwargs,
+    ) -> "GraphDatabase":
+        """Open (creating or recovering) a *durable* database at ``directory``.
+
+        Commits are written to a CRC-checksummed write-ahead log and
+        fsynced with group commit; :meth:`checkpoint` (or the automatic
+        thresholds in ``durability_config``) compacts the log into an
+        atomic snapshot. Re-opening after a crash replays the last
+        checkpoint plus the log's valid prefix — a torn or corrupt tail is
+        discarded, so recovery always lands on a prefix of the committed
+        transactions. Keyword arguments match the constructor; the ones
+        that shape stored records (``page_size``, ``dense_node_threshold``)
+        are taken from the existing checkpoint when re-opening.
+        """
+        from repro.durability.engine import DurabilityEngine
+
+        return DurabilityEngine.open_database(
+            directory,
+            config=durability_config,
+            injector=fault_injector,
+            **kwargs,
+        )
+
+    def checkpoint(self) -> None:
+        """Force a checkpoint (snapshot + log truncation) now."""
+        if self.durability is None:
+            raise ReproError("database was not opened with GraphDatabase.open")
+        self.durability.checkpoint()
+
+    def close(self) -> None:
+        """Flush and release durability resources (no-op when in-memory)."""
+        if self.durability is not None:
+            self.durability.close()
 
     # ------------------------------------------------------------------
     # Tokens
@@ -293,6 +340,10 @@ class GraphDatabase:
         if isinstance(pattern, str):
             pattern = PathPattern.parse(pattern)
         index = self.indexes.create(name, pattern, partial=partial)
+        if self.durability is not None:
+            self.durability.log_ddl(
+                "create_index", name, str(pattern), partial, populate
+            )
         if populate and not partial:
             return initialize_index(self.store, self.indexes, index, hints)
         return InitializationStats(
@@ -311,6 +362,8 @@ class GraphDatabase:
 
     def drop_path_index(self, name: str) -> None:
         self.indexes.drop(name)
+        if self.durability is not None:
+            self.durability.log_ddl("drop_index", name, "")
 
     def path_index(self, name: str) -> PathIndex:
         return self.indexes.get(name)

@@ -1,11 +1,13 @@
 """Snapshot persistence: save a database to a directory and load it back.
 
 The paper's prototype inherits Neo4j's on-disk stores; this reproduction
-keeps records in memory, so durability comes from explicit snapshots. A
-snapshot directory holds JSON-lines files mirroring the record stores plus
-every path index's pattern and verbatim entry list — restoring is a faithful
-replay (record ids, relationship chains, dense-node groups and index
-contents all come back identical; derived structures are recomputed).
+keeps records in memory, so baseline durability comes from explicit
+snapshots (and the durability engine builds checkpoints out of the same
+format — see :mod:`repro.durability.engine`). A snapshot directory holds
+JSON-lines files mirroring the record stores plus every path index's
+pattern and verbatim entry list — restoring is a faithful replay (record
+ids, relationship chains, dense-node groups and index contents all come
+back identical; derived structures are recomputed).
 
 Layout::
 
@@ -17,13 +19,19 @@ Layout::
     <dir>/groups.jsonl
     <dir>/indexes.json        [{name, pattern}]
     <dir>/index_<name>.jsonl  one entry (identifier array) per line
+
+The module exposes two layers: :func:`write_snapshot_state` /
+:func:`read_snapshot_state` operate on an existing directory / database
+(the checkpoint engine uses these, threading a progress callback through
+for fault injection), while :func:`save_snapshot` / :func:`load_snapshot`
+are the one-call convenience wrappers.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Callable, Optional, Union
 
 from repro.db.database import GraphDatabase
 from repro.errors import StorageError
@@ -38,10 +46,22 @@ from repro.storage.records import (
 SNAPSHOT_FORMAT_VERSION = 1
 
 
-def save_snapshot(db: GraphDatabase, directory: Union[str, Path]) -> Path:
-    """Write a complete snapshot of ``db`` into ``directory``."""
-    path = Path(directory)
-    path.mkdir(parents=True, exist_ok=True)
+def write_snapshot_state(
+    db: GraphDatabase,
+    path: Path,
+    on_progress: Optional[Callable[[str], None]] = None,
+) -> None:
+    """Write every snapshot file for ``db`` into the existing ``path``.
+
+    ``on_progress`` is invoked with each file's name just after it is
+    written — the checkpoint engine uses it to expose a mid-snapshot
+    fault-injection point.
+    """
+
+    def progress(name: str) -> None:
+        if on_progress is not None:
+            on_progress(name)
+
     store = db.store
     metadata = {
         "format_version": SNAPSHOT_FORMAT_VERSION,
@@ -51,6 +71,7 @@ def save_snapshot(db: GraphDatabase, directory: Union[str, Path]) -> Path:
         "page_size": db.page_cache.page_size,
     }
     (path / "metadata.json").write_text(json.dumps(metadata, indent=2))
+    progress("metadata.json")
     (path / "tokens.json").write_text(
         json.dumps(
             {
@@ -60,6 +81,7 @@ def save_snapshot(db: GraphDatabase, directory: Union[str, Path]) -> Path:
             }
         )
     )
+    progress("tokens.json")
     _write_jsonl(
         path / "nodes.jsonl",
         (
@@ -73,6 +95,7 @@ def save_snapshot(db: GraphDatabase, directory: Union[str, Path]) -> Path:
             for record in store.nodes.dump_records().values()
         ),
     )
+    progress("nodes.jsonl")
     _write_jsonl(
         path / "relationships.jsonl",
         (
@@ -90,6 +113,7 @@ def save_snapshot(db: GraphDatabase, directory: Union[str, Path]) -> Path:
             for r in store.relationships.dump_records().values()
         ),
     )
+    progress("relationships.jsonl")
     _write_jsonl(
         path / "properties.jsonl",
         (
@@ -103,6 +127,7 @@ def save_snapshot(db: GraphDatabase, directory: Union[str, Path]) -> Path:
             for p in store.properties.dump_records().values()
         ),
     )
+    progress("properties.jsonl")
     _write_jsonl(
         path / "groups.jsonl",
         (
@@ -121,6 +146,7 @@ def save_snapshot(db: GraphDatabase, directory: Union[str, Path]) -> Path:
             for g in store.groups.dump_records().values()
         ),
     )
+    progress("groups.jsonl")
     specs = []
     for index in db.indexes:
         spec = {"name": index.name, "pattern": str(index.pattern)}
@@ -129,6 +155,7 @@ def save_snapshot(db: GraphDatabase, directory: Union[str, Path]) -> Path:
             spec["materialized_starts"] = index.materialized_starts()
         specs.append(spec)
     (path / "indexes.json").write_text(json.dumps(specs))
+    progress("indexes.json")
     for index in db.indexes:
         entries = (
             index.scan() if index.supports_full_scan else index.scan_materialized()
@@ -137,25 +164,21 @@ def save_snapshot(db: GraphDatabase, directory: Union[str, Path]) -> Path:
             path / f"index_{index.name}.jsonl",
             (list(entry) for entry in entries),
         )
-    return path
+        progress(f"index_{index.name}.jsonl")
 
 
-def load_snapshot(
-    directory: Union[str, Path],
-    page_cache_pages: int = 1 << 20,
-) -> GraphDatabase:
-    """Reconstruct a :class:`GraphDatabase` from a snapshot directory."""
-    path = Path(directory)
-    metadata = json.loads((path / "metadata.json").read_text())
+def read_snapshot_metadata(directory: Union[str, Path]) -> dict:
+    """Read and validate a snapshot directory's ``metadata.json``."""
+    metadata = json.loads((Path(directory) / "metadata.json").read_text())
     if metadata.get("format_version") != SNAPSHOT_FORMAT_VERSION:
         raise StorageError(
             f"unsupported snapshot format {metadata.get('format_version')!r}"
         )
-    db = GraphDatabase(
-        page_cache_pages=page_cache_pages,
-        page_size=metadata.get("page_size", 8192),
-        dense_node_threshold=metadata.get("dense_node_threshold", 50),
-    )
+    return metadata
+
+
+def read_snapshot_state(db: GraphDatabase, path: Path) -> None:
+    """Restore snapshot files from ``path`` into a freshly constructed ``db``."""
     store = db.store
     tokens = json.loads((path / "tokens.json").read_text())
     store.labels.restore_tokens(tokens["labels"])
@@ -201,6 +224,29 @@ def load_snapshot(
             index.restore_materialized_starts(spec.get("materialized_starts", []))
         for entry in _read_jsonl(path / f"index_{spec['name']}.jsonl"):
             index.add(tuple(entry))
+
+
+def save_snapshot(db: GraphDatabase, directory: Union[str, Path]) -> Path:
+    """Write a complete snapshot of ``db`` into ``directory``."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    write_snapshot_state(db, path)
+    return path
+
+
+def load_snapshot(
+    directory: Union[str, Path],
+    page_cache_pages: int = 1 << 20,
+) -> GraphDatabase:
+    """Reconstruct a :class:`GraphDatabase` from a snapshot directory."""
+    path = Path(directory)
+    metadata = read_snapshot_metadata(path)
+    db = GraphDatabase(
+        page_cache_pages=page_cache_pages,
+        page_size=metadata.get("page_size", 8192),
+        dense_node_threshold=metadata.get("dense_node_threshold", 50),
+    )
+    read_snapshot_state(db, path)
     return db
 
 

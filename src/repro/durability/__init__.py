@@ -1,0 +1,43 @@
+"""Crash-safe durability: write-ahead log, checkpoints, recovery.
+
+The in-memory store (`repro.storage`), transactions (`repro.tx`) and path
+indexes are volatile; this package makes committed transactions survive a
+process crash:
+
+* :class:`WriteAheadLog` — a binary log of length-prefixed,
+  CRC32-checksummed records; torn or corrupt tail records are detected and
+  discarded on recovery, so replay always lands on a *prefix* of committed
+  transactions.
+* :class:`DurabilityEngine` — serializes each committed transaction's
+  applier operations (node/relationship/property/token/path-index deltas)
+  into one log record, fsyncs with **group commit** (concurrent writers
+  share one fsync), checkpoints by writing an atomic snapshot (temp
+  directory + ``CURRENT`` pointer switch) and starting a fresh log segment,
+  and replays the checkpoint + log suffix in
+  :meth:`repro.db.database.GraphDatabase.open`.
+* :class:`FaultInjector` — named kill-points before/after every write,
+  fsync and rename let tests deterministically crash the engine mid-commit
+  and mid-checkpoint and assert recovery invariants.
+"""
+
+from repro.durability.engine import DurabilityConfig, DurabilityEngine
+from repro.durability.faults import (
+    CHECKPOINT_KILL_POINTS,
+    KILL_POINTS,
+    WAL_KILL_POINTS,
+    FaultInjector,
+    SimulatedCrashError,
+)
+from repro.durability.wal import WriteAheadLog, scan_records
+
+__all__ = [
+    "CHECKPOINT_KILL_POINTS",
+    "DurabilityConfig",
+    "DurabilityEngine",
+    "FaultInjector",
+    "KILL_POINTS",
+    "SimulatedCrashError",
+    "WAL_KILL_POINTS",
+    "WriteAheadLog",
+    "scan_records",
+]

@@ -1,0 +1,167 @@
+"""Binary value codec for write-ahead log payloads.
+
+A small, self-contained tagged encoding (one tag byte per value, LEB128
+varints for lengths and integers, zigzag for signed ints) covering exactly
+the types a transaction can write: ``None``, booleans, ints, floats,
+strings, bytes, lists/tuples, and dicts. The snapshot files use JSON; the
+log uses this codec because log records are written on every commit and the
+framing (length + CRC32) is byte-oriented anyway.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.errors import DurabilityError
+
+TAG_NONE = 0
+TAG_FALSE = 1
+TAG_TRUE = 2
+TAG_INT = 3
+TAG_FLOAT = 4
+TAG_STR = 5
+TAG_BYTES = 6
+TAG_LIST = 7
+TAG_DICT = 8
+
+_FLOAT = struct.Struct("<d")
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` (non-negative) as a LEB128 varint."""
+    if value < 0:
+        raise DurabilityError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode a LEB128 varint at ``offset``; returns (value, next_offset)."""
+    value = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise DurabilityError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+
+
+def _zigzag_encode(value: int) -> int:
+    return (value << 1) if value >= 0 else ((-value) << 1) - 1
+
+
+def _zigzag_decode(encoded: int) -> int:
+    return (encoded >> 1) if not encoded & 1 else -((encoded + 1) >> 1)
+
+
+def write_value(out: bytearray, value: Any) -> None:
+    """Append one tagged value to ``out``."""
+    if value is None:
+        out.append(TAG_NONE)
+    elif value is True:
+        out.append(TAG_TRUE)
+    elif value is False:
+        out.append(TAG_FALSE)
+    elif isinstance(value, int):
+        out.append(TAG_INT)
+        write_uvarint(out, _zigzag_encode(value))
+    elif isinstance(value, float):
+        out.append(TAG_FLOAT)
+        out.extend(_FLOAT.pack(value))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(TAG_STR)
+        write_uvarint(out, len(encoded))
+        out.extend(encoded)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(TAG_BYTES)
+        write_uvarint(out, len(value))
+        out.extend(value)
+    elif isinstance(value, (list, tuple)):
+        out.append(TAG_LIST)
+        write_uvarint(out, len(value))
+        for item in value:
+            write_value(out, item)
+    elif isinstance(value, dict):
+        out.append(TAG_DICT)
+        write_uvarint(out, len(value))
+        for key, item in value.items():
+            write_value(out, key)
+            write_value(out, item)
+    else:
+        raise DurabilityError(
+            f"cannot log value of type {type(value).__name__!r}: {value!r}"
+        )
+
+
+def read_value(data: bytes, offset: int) -> tuple[Any, int]:
+    """Decode one tagged value at ``offset``; returns (value, next_offset)."""
+    if offset >= len(data):
+        raise DurabilityError("truncated value")
+    tag = data[offset]
+    offset += 1
+    if tag == TAG_NONE:
+        return None, offset
+    if tag == TAG_TRUE:
+        return True, offset
+    if tag == TAG_FALSE:
+        return False, offset
+    if tag == TAG_INT:
+        encoded, offset = read_uvarint(data, offset)
+        return _zigzag_decode(encoded), offset
+    if tag == TAG_FLOAT:
+        if offset + 8 > len(data):
+            raise DurabilityError("truncated float")
+        return _FLOAT.unpack_from(data, offset)[0], offset + 8
+    if tag == TAG_STR:
+        length, offset = read_uvarint(data, offset)
+        if offset + length > len(data):
+            raise DurabilityError("truncated string")
+        return data[offset : offset + length].decode("utf-8"), offset + length
+    if tag == TAG_BYTES:
+        length, offset = read_uvarint(data, offset)
+        if offset + length > len(data):
+            raise DurabilityError("truncated bytes")
+        return bytes(data[offset : offset + length]), offset + length
+    if tag == TAG_LIST:
+        count, offset = read_uvarint(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = read_value(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == TAG_DICT:
+        count, offset = read_uvarint(data, offset)
+        result = {}
+        for _ in range(count):
+            key, offset = read_value(data, offset)
+            item, offset = read_value(data, offset)
+            result[key] = item
+        return result, offset
+    raise DurabilityError(f"unknown value tag {tag}")
+
+
+def encode_value(value: Any) -> bytes:
+    out = bytearray()
+    write_value(out, value)
+    return bytes(out)
+
+
+def decode_value(data: bytes) -> Any:
+    value, offset = read_value(data, 0)
+    if offset != len(data):
+        raise DurabilityError(
+            f"{len(data) - offset} trailing bytes after decoded value"
+        )
+    return value

@@ -1,0 +1,534 @@
+"""The durability engine: group-committed WAL + atomic checkpoints + recovery.
+
+Directory layout::
+
+    <dir>/CURRENT                   text pointer: id of the live checkpoint
+    <dir>/checkpoint-NNNNNN/        snapshot directory (repro.db.snapshot format)
+    <dir>/wal-NNNNNN.log            the log segment paired with that checkpoint
+
+Commit path — the engine is a transaction applier (registered *after* the
+path-index maintainer, so index deltas are already known): each committed
+transaction is serialized into one log record and appended; the fsync uses
+**group commit** — the first waiter becomes the leader and fsyncs everything
+appended so far, concurrent committers piggyback on that single fsync. The
+query service defers the fsync until after it drops its exclusive write
+lock (:meth:`DurabilityEngine.deferred_sync` / :meth:`sync_pending`), which
+is what lets independent writers actually share an fsync.
+
+Checkpoint — write a full snapshot into ``checkpoint-N.tmp``, fsync, rename
+to ``checkpoint-N`` (atomic), start ``wal-N.log``, then atomically switch
+``CURRENT`` and delete the old pair. A crash at any point leaves either the
+old pair or the new pair fully intact; orphans are swept on the next open.
+
+Recovery (:meth:`DurabilityEngine.open_database`, surfaced as
+``GraphDatabase.open``) — load the checkpoint ``CURRENT`` points at, scan
+the paired log's longest valid prefix (truncating any torn/corrupt tail),
+and replay each record through the live mutation API. The invariant: the
+recovered store is always the state after some *prefix* of the committed
+transactions — every transaction whose fsync returned is in that prefix.
+
+Every I/O point calls a named :class:`FaultInjector` kill-point, so tests
+can deterministically kill the engine anywhere and assert that invariant.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.durability.faults import FaultInjector
+from repro.durability.operations import (
+    REC_COMMIT,
+    apply_commit_record,
+    apply_ddl_record,
+    collect_operations,
+    decode_record,
+    encode_commit_record,
+    encode_ddl_record,
+    record_seq,
+)
+from repro.durability.wal import WAL_HEADER, WriteAheadLog, scan_records
+from repro.errors import DurabilityError
+from repro.tx.appliers import TransactionApplier
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.database import GraphDatabase
+    from repro.tx.state import TransactionState
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Tuning knobs for the durability engine."""
+
+    checkpoint_interval_records: int = 1024
+    """Auto-checkpoint after this many log records (non-service usage)."""
+
+    checkpoint_interval_bytes: int = 4 << 20
+    """Auto-checkpoint after this many log bytes (non-service usage)."""
+
+    auto_checkpoint: bool = True
+    """Checkpoint from the commit path when an interval is exceeded. The
+    query service disables the commit-path trigger implicitly (its commits
+    run with a deferred fsync) and checkpoints from a background thread
+    under its write lock instead."""
+
+
+class _WalApplier(TransactionApplier):
+    """Bridges transaction commit into the engine's log.
+
+    Runs after the :class:`PathIndexMaintainer`, so by the time
+    :meth:`after_apply` fires the store holds the transaction's final state
+    and ``maintainer.last_changes`` lists the index deltas to log."""
+
+    def __init__(self, engine: "DurabilityEngine") -> None:
+        self._engine = engine
+
+    def after_apply(self, state: "TransactionState", store) -> None:
+        self._engine.log_commit(state)
+
+
+class DurabilityEngine:
+    """Owns one durability directory for one live :class:`GraphDatabase`."""
+
+    def __init__(
+        self,
+        directory: Path,
+        db: "GraphDatabase",
+        config: DurabilityConfig,
+        injector: FaultInjector,
+        checkpoint_id: int,
+        wal: WriteAheadLog,
+        last_seq: int,
+        replayed_records: int,
+        replayed_bytes: int,
+    ) -> None:
+        self.directory = Path(directory)
+        self.db = db
+        self.config = config
+        self.injector = injector
+        self._checkpoint_id = checkpoint_id
+        self._wal = wal
+        self._seq = last_seq
+        self._appended_seq = last_seq
+        self._durable_seq = last_seq
+        self._records_since_checkpoint = replayed_records
+        self._bytes_since_checkpoint = replayed_bytes
+        store = db.store
+        self._logged_labels = len(store.labels.all_tokens())
+        self._logged_types = len(store.types.all_tokens())
+        self._logged_keys = len(store.property_keys.all_tokens())
+        # Appends serialize under _lock; the fsync deliberately does not,
+        # so new appends can proceed while the group-commit leader syncs.
+        self._lock = threading.RLock()
+        self._sync_cond = threading.Condition()
+        self._sync_leader = False
+        self._deferred = threading.local()
+        self.commits_logged = 0
+        self.fsync_count = 0
+        self.synced_commits = 0
+        self.last_group_size = 0
+        self.checkpoints_completed = 0
+        self.recovered_records = replayed_records
+
+    # ------------------------------------------------------------------
+    # Open / recovery
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open_database(
+        cls,
+        directory: Union[str, Path],
+        config: Optional[DurabilityConfig] = None,
+        injector: Optional[FaultInjector] = None,
+        page_cache_pages: int = 1 << 20,
+        page_size: Optional[int] = None,
+        miss_latency_s: Optional[float] = None,
+        dense_node_threshold: Optional[int] = None,
+        maintenance_strategy: Optional[str] = None,
+        execution_mode: str = "batched",
+    ) -> "GraphDatabase":
+        """Open (creating or recovering) a durable database directory."""
+        from repro.db.database import GraphDatabase
+        from repro.db.snapshot import read_snapshot_metadata, read_snapshot_state
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        config = config if config is not None else DurabilityConfig()
+        injector = injector if injector is not None else FaultInjector()
+        db_kwargs = {
+            "page_cache_pages": page_cache_pages,
+            "execution_mode": execution_mode,
+        }
+        if miss_latency_s is not None:
+            db_kwargs["miss_latency_s"] = miss_latency_s
+        if maintenance_strategy is not None:
+            db_kwargs["maintenance_strategy"] = maintenance_strategy
+
+        current = directory / "CURRENT"
+        if current.exists():
+            # Existing database: configuration that shapes the stored
+            # records comes from the checkpoint, not the caller.
+            checkpoint_id = int(current.read_text().strip())
+            checkpoint_dir = directory / _checkpoint_name(checkpoint_id)
+            metadata = read_snapshot_metadata(checkpoint_dir)
+            db = GraphDatabase(
+                page_size=metadata.get("page_size", 8192),
+                dense_node_threshold=metadata.get("dense_node_threshold", 50),
+                **db_kwargs,
+            )
+            read_snapshot_state(db, checkpoint_dir)
+        else:
+            checkpoint_id = 1
+            if page_size is not None:
+                db_kwargs["page_size"] = page_size
+            if dense_node_threshold is not None:
+                db_kwargs["dense_node_threshold"] = dense_node_threshold
+            db = GraphDatabase(**db_kwargs)
+            cls._bootstrap(db, directory, checkpoint_id)
+        _clean_orphans(directory, checkpoint_id)
+
+        wal_path = directory / _wal_name(checkpoint_id)
+        payloads, valid_length = scan_records(wal_path)
+        if wal_path.exists() and wal_path.stat().st_size > valid_length:
+            # Torn/corrupt tail: physically discard it before appending.
+            with open(wal_path, "r+b") as handle:
+                handle.truncate(valid_length)
+        last_seq = 0
+        for payload in payloads:
+            record_type, body = decode_record(payload)
+            seq = record_seq(body)
+            if seq <= last_seq:
+                raise DurabilityError(
+                    f"log sequence went backwards ({seq} after {last_seq})"
+                )
+            if record_type == REC_COMMIT:
+                apply_commit_record(db, body)
+            else:
+                apply_ddl_record(db, body)
+            last_seq = seq
+
+        wal = WriteAheadLog(wal_path, injector)
+        engine = cls(
+            directory,
+            db,
+            config,
+            injector,
+            checkpoint_id,
+            wal,
+            last_seq,
+            replayed_records=len(payloads),
+            replayed_bytes=max(0, valid_length - len(WAL_HEADER)),
+        )
+        db.durability = engine
+        db.tx_manager.register_applier(_WalApplier(engine))
+        return db
+
+    @staticmethod
+    def _bootstrap(db: "GraphDatabase", directory: Path, checkpoint_id: int) -> None:
+        """First open of a fresh directory: write the initial (empty)
+        checkpoint and point ``CURRENT`` at it. No kill-points fire here —
+        until ``CURRENT`` exists there is nothing to lose, and a crash
+        mid-bootstrap is swept as orphans on the next open."""
+        from repro.db.snapshot import write_snapshot_state
+
+        tmp = directory / (_checkpoint_name(checkpoint_id) + ".tmp")
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir()
+        write_snapshot_state(db, tmp)
+        _fsync_tree(tmp)
+        os.replace(tmp, directory / _checkpoint_name(checkpoint_id))
+        _switch_current(directory, checkpoint_id)
+
+    # ------------------------------------------------------------------
+    # Commit path
+    # ------------------------------------------------------------------
+
+    def log_commit(self, state: "TransactionState") -> None:
+        """Serialize one committed transaction into the log.
+
+        Called from the applier with the store fully updated. Read-only and
+        token-only transactions write nothing (token registrations become
+        durable as the prefix of the next real commit record)."""
+        self.injector.check()
+        ops = collect_operations(state)
+        index_changes = list(self.db.maintainer.last_changes)
+        if not ops and not index_changes:
+            return
+        store = self.db.store
+        with self._lock:
+            labels = store.labels.all_tokens()
+            types = store.types.all_tokens()
+            keys = store.property_keys.all_tokens()
+            seq = self._seq + 1
+            payload = encode_commit_record(
+                seq,
+                labels[self._logged_labels :],
+                types[self._logged_types :],
+                keys[self._logged_keys :],
+                ops,
+                index_changes,
+            )
+            self._append(payload, seq)
+            self._logged_labels = len(labels)
+            self._logged_types = len(types)
+            self._logged_keys = len(keys)
+            self.commits_logged += 1
+        if self._defer(seq):
+            return
+        self.sync(seq)
+        if self.config.auto_checkpoint and self._should_checkpoint():
+            self.checkpoint()
+
+    def log_ddl(
+        self,
+        kind: str,
+        name: str,
+        pattern: str,
+        partial: bool = False,
+        populate: bool = True,
+    ) -> None:
+        """Log a path-index create/drop (replayed by re-running the DDL)."""
+        self.injector.check()
+        with self._lock:
+            seq = self._seq + 1
+            self._append(
+                encode_ddl_record(seq, kind, name, pattern, partial, populate), seq
+            )
+        if not self._defer(seq):
+            self.sync(seq)
+
+    def _append(self, payload: bytes, seq: int) -> None:
+        """Append one record; caller holds ``_lock``."""
+        self._wal.append(payload)
+        self._seq = seq
+        self._appended_seq = seq
+        self._records_since_checkpoint += 1
+        self._bytes_since_checkpoint += len(payload) + 8
+
+    def _defer(self, seq: int) -> bool:
+        if getattr(self._deferred, "active", False):
+            self._deferred.pending = seq
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Group commit
+    # ------------------------------------------------------------------
+
+    def sync(self, seq: int) -> None:
+        """Block until record ``seq`` is durable — sharing fsyncs.
+
+        The first waiter becomes the leader and fsyncs everything appended
+        so far; waiters whose records that fsync covered return without
+        ever touching the file."""
+        while True:
+            with self._sync_cond:
+                while True:
+                    if self._durable_seq >= seq:
+                        return
+                    if not self._sync_leader:
+                        self._sync_leader = True
+                        target = self._appended_seq
+                        base = self._durable_seq
+                        wal = self._wal
+                        break
+                    self._sync_cond.wait()
+            try:
+                wal.fsync()
+            except BaseException:
+                with self._sync_cond:
+                    self._sync_leader = False
+                    self._sync_cond.notify_all()
+                raise
+            with self._sync_cond:
+                if target > self._durable_seq:
+                    self.last_group_size = target - base
+                    self.synced_commits += target - base
+                    self._durable_seq = target
+                self.fsync_count += 1
+                self._sync_leader = False
+                self._sync_cond.notify_all()
+
+    @contextmanager
+    def deferred_sync(self):
+        """Within this context the calling thread's commits append to the
+        log but do not fsync; call :meth:`sync_pending` afterwards. The
+        query service brackets its lock-held write execution with this, so
+        the fsync happens outside the exclusive lock and concurrent writers
+        can share one group commit."""
+        previous = getattr(self._deferred, "active", False)
+        self._deferred.active = True
+        try:
+            yield
+        finally:
+            self._deferred.active = previous
+
+    def sync_pending(self) -> None:
+        """Make the calling thread's deferred commits durable."""
+        seq = getattr(self._deferred, "pending", None)
+        self._deferred.pending = None
+        if seq is not None:
+            self.sync(seq)
+
+    # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+
+    def _should_checkpoint(self) -> bool:
+        return (
+            self._records_since_checkpoint >= self.config.checkpoint_interval_records
+            or self._bytes_since_checkpoint >= self.config.checkpoint_interval_bytes
+        )
+
+    def checkpoint(self) -> None:
+        """Write an atomic snapshot and truncate the log.
+
+        The caller must guarantee a quiescent store (the query service runs
+        this under its exclusive write lock; single-threaded embedded use
+        is quiescent by construction)."""
+        from repro.db.snapshot import write_snapshot_state
+
+        injector = self.injector
+        injector.check()
+        with self._lock:
+            injector.reach("checkpoint.before")
+            next_id = self._checkpoint_id + 1
+            tmp = self.directory / (_checkpoint_name(next_id) + ".tmp")
+            if tmp.exists():
+                shutil.rmtree(tmp)
+            tmp.mkdir()
+            write_snapshot_state(
+                self.db,
+                tmp,
+                on_progress=lambda _name: injector.reach("checkpoint.mid_snapshot"),
+            )
+            _fsync_tree(tmp)
+            injector.reach("checkpoint.before_rename")
+            os.replace(tmp, self.directory / _checkpoint_name(next_id))
+            _fsync_dir(self.directory)
+            new_wal = WriteAheadLog(self.directory / _wal_name(next_id), injector)
+            injector.reach("checkpoint.before_current")
+            _switch_current(self.directory, next_id)
+            injector.reach("checkpoint.after_current")
+            # The new pair is live. Swap the writer (waiting out any
+            # in-flight group-commit leader: records appended but not yet
+            # fsynced are covered by the snapshot, so they are durable now)
+            # and then sweep the old pair.
+            old_checkpoint = self.directory / _checkpoint_name(self._checkpoint_id)
+            with self._sync_cond:
+                while self._sync_leader:
+                    self._sync_cond.wait()
+                old_wal = self._wal
+                self._wal = new_wal
+                self._durable_seq = self._appended_seq
+                self._sync_cond.notify_all()
+            old_wal.close()
+            try:
+                os.remove(old_wal.path)
+            except FileNotFoundError:
+                pass
+            shutil.rmtree(old_checkpoint, ignore_errors=True)
+            injector.reach("checkpoint.after")
+            self._checkpoint_id = next_id
+            self._records_since_checkpoint = 0
+            self._bytes_since_checkpoint = 0
+            self.checkpoints_completed += 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Fsync anything pending and release the log file."""
+        if self.injector.crashed:
+            self._wal.close()
+            return
+        with self._lock:
+            if self._appended_seq > self._durable_seq:
+                self.sync(self._appended_seq)
+            self._wal.close()
+
+    def simulate_power_loss(self) -> None:
+        """After a simulated crash: drop log bytes the OS never fsynced,
+        modelling power loss rather than a mere process kill."""
+        self._wal.truncate_to_synced()
+
+    def status(self) -> dict:
+        """Counters for the service metrics section and the shell."""
+        return {
+            "directory": str(self.directory),
+            "checkpoint_id": self._checkpoint_id,
+            "appended_seq": self._appended_seq,
+            "durable_seq": self._durable_seq,
+            "commits_logged": self.commits_logged,
+            "fsyncs": self.fsync_count,
+            "synced_commits": self.synced_commits,
+            "last_group_size": self.last_group_size,
+            "checkpoints": self.checkpoints_completed,
+            "recovered_records": self.recovered_records,
+            "records_since_checkpoint": self._records_since_checkpoint,
+            "bytes_since_checkpoint": self._bytes_since_checkpoint,
+            "crashed": self.injector.crashed,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Directory helpers
+# ---------------------------------------------------------------------------
+
+
+def _checkpoint_name(checkpoint_id: int) -> str:
+    return f"checkpoint-{checkpoint_id:06d}"
+
+
+def _wal_name(checkpoint_id: int) -> str:
+    return f"wal-{checkpoint_id:06d}.log"
+
+
+def _switch_current(directory: Path, checkpoint_id: int) -> None:
+    """Atomically repoint ``CURRENT`` (write temp, fsync, rename, fsync dir)."""
+    tmp = directory / "CURRENT.tmp"
+    tmp.write_text(f"{checkpoint_id:06d}\n")
+    _fsync_file(tmp)
+    os.replace(tmp, directory / "CURRENT")
+    _fsync_dir(directory)
+
+
+def _clean_orphans(directory: Path, keep_id: int) -> None:
+    """Sweep artifacts of an interrupted checkpoint or bootstrap: anything
+    not referenced by ``CURRENT`` is garbage by construction."""
+    keep = {_checkpoint_name(keep_id), _wal_name(keep_id), "CURRENT"}
+    for entry in directory.iterdir():
+        if entry.name in keep:
+            continue
+        if entry.name.startswith("checkpoint-"):
+            shutil.rmtree(entry, ignore_errors=True)
+        elif entry.name.startswith("wal-") or entry.name == "CURRENT.tmp":
+            try:
+                os.remove(entry)
+            except OSError:
+                pass
+
+
+def _fsync_file(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    _fsync_file(path)
+
+
+def _fsync_tree(path: Path) -> None:
+    for child in path.iterdir():
+        _fsync_file(child)
+    _fsync_dir(path)

@@ -1,0 +1,127 @@
+"""The write-ahead log file: framing, append, fsync, and tail-safe scan.
+
+File layout::
+
+    b"RWAL" + <u16 version>                      6-byte header
+    repeat:  <u32 payload_len> <u32 crc32(payload)> <payload>
+
+Records are length-prefixed and CRC32-checksummed. :func:`scan_records`
+reads the longest valid prefix: a short read, an implausible length or a
+CRC mismatch marks the *torn tail* — everything from there on is discarded
+(and physically truncated before the log is appended to again), so recovery
+always lands on a prefix of whole records. A record is only guaranteed
+durable once :meth:`WriteAheadLog.fsync` returned after its append; the
+writer tracks the last-fsynced length so tests can simulate losing the OS
+page cache (power loss) by truncating back to it.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.durability.faults import FaultInjector
+
+WAL_MAGIC = b"RWAL"
+WAL_VERSION = 1
+WAL_HEADER = WAL_MAGIC + struct.pack("<H", WAL_VERSION)
+_FRAME = struct.Struct("<II")
+MAX_RECORD_BYTES = 1 << 30
+"""Sanity bound on a single record; larger lengths are treated as garbage."""
+
+
+def scan_records(path: Union[str, Path]) -> tuple[list[bytes], int]:
+    """Read the longest valid prefix of log records.
+
+    Returns ``(payloads, valid_length)`` where ``valid_length`` is the byte
+    offset just past the last whole, checksum-correct record (the offset the
+    file should be truncated to before further appends). A missing file or
+    an unrecognizable header yields ``([], 0)``.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return [], 0
+    if len(data) < len(WAL_HEADER) or data[: len(WAL_HEADER)] != WAL_HEADER:
+        return [], 0
+    payloads: list[bytes] = []
+    offset = len(WAL_HEADER)
+    while True:
+        if offset + _FRAME.size > len(data):
+            break  # torn frame header
+        length, crc = _FRAME.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES or offset + _FRAME.size + length > len(data):
+            break  # implausible length or torn payload
+        payload = data[offset + _FRAME.size : offset + _FRAME.size + length]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt record: discard it and everything after
+        payloads.append(payload)
+        offset += _FRAME.size + length
+    return payloads, offset
+
+
+class WriteAheadLog:
+    """Append-only writer over one log segment file.
+
+    The caller is responsible for having truncated any torn tail first
+    (recovery does, via :func:`scan_records`); the writer then appends whole
+    frames and fsyncs on demand. All fault injection on the commit path
+    happens here: ``wal.append.before_write`` / ``torn_write`` /
+    ``after_write`` around the frame write and ``wal.fsync.before`` /
+    ``after`` around the fsync.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.path = Path(path)
+        self._injector = injector if injector is not None else FaultInjector()
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        # Unbuffered: every write reaches the OS immediately, so a torn
+        # write really leaves partial bytes behind for recovery to find.
+        self._file = open(self.path, "ab", buffering=0)
+        if fresh:
+            self._file.write(WAL_HEADER)
+            os.fsync(self._file.fileno())
+        self.size = self.path.stat().st_size
+        self.synced_size = self.size
+        """File length at the last completed fsync (the power-loss horizon)."""
+
+    def append(self, payload: bytes) -> None:
+        """Append one framed record (no fsync — see :meth:`fsync`)."""
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        self._injector.reach("wal.append.before_write")
+        if self._injector.will_fire("wal.append.torn_write"):
+            # Write only half the frame, then crash: the torn record must be
+            # detected by CRC/length on recovery and discarded.
+            half = frame[: max(1, len(frame) // 2)]
+            self._file.write(half)
+            self.size += len(half)
+            self._injector.reach("wal.append.torn_write")
+        self._file.write(frame)
+        self.size += len(frame)
+        self._injector.reach("wal.append.after_write")
+
+    def fsync(self) -> None:
+        """Make every appended record durable."""
+        self._injector.reach("wal.fsync.before")
+        os.fsync(self._file.fileno())
+        self.synced_size = self.size
+        self._injector.reach("wal.fsync.after")
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def truncate_to_synced(self) -> None:
+        """Simulate power loss: drop everything after the last fsync."""
+        self.close()
+        with open(self.path, "r+b") as handle:
+            handle.truncate(self.synced_size)
+        self.size = self.synced_size

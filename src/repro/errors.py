@@ -19,6 +19,10 @@ class RecordNotFoundError(StorageError):
     """A node or relationship id does not exist (or was deleted)."""
 
 
+class DurabilityError(StorageError):
+    """The write-ahead log or a checkpoint is malformed or was misused."""
+
+
 class ConstraintViolationError(ReproError):
     """A graph invariant would be broken (e.g. deleting a connected node)."""
 

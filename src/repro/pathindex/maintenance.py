@@ -66,6 +66,11 @@ class PathIndexMaintainer(TransactionApplier):
         self.hints = hints or PlannerHints()
         self.last_report: dict[str, float] = {}
         self.last_entry_counts: dict[str, int] = {}
+        self.last_changes: list[tuple[str, str, tuple[int, ...]]] = []
+        """Every index delta of the last commit as ``(op, index, entry)``
+        with op "add"/"remove" — only updates that actually changed an index.
+        The durability engine logs these verbatim so recovery can restore
+        index contents without re-running Algorithm 1."""
 
     # ------------------------------------------------------------------
     # Applier phases
@@ -74,6 +79,7 @@ class PathIndexMaintainer(TransactionApplier):
     def before_destructive(self, state: TransactionState, store: GraphStore) -> None:
         self.last_report = {}
         self.last_entry_counts = {}
+        self.last_changes = []
         if len(self.index_store) == 0:
             return
         removals: list[tuple[PathIndex, tuple[int, ...]]] = []
@@ -112,6 +118,7 @@ class PathIndexMaintainer(TransactionApplier):
                 self.last_entry_counts[index.name] = (
                     self.last_entry_counts.get(index.name, 0) + 1
                 )
+                self.last_changes.append(("remove", index.name, entry))
             self._charge(index.name, time.perf_counter() - started)
 
     def after_apply(self, state: TransactionState, store: GraphStore) -> None:
@@ -145,6 +152,7 @@ class PathIndexMaintainer(TransactionApplier):
                         self.last_entry_counts[index.name] = (
                             self.last_entry_counts.get(index.name, 0) + 1
                         )
+                        self.last_changes.append(("add", index.name, entry))
                     self._charge(index.name, time.perf_counter() - started)
 
     # ------------------------------------------------------------------

@@ -79,11 +79,21 @@ class ServiceConfig:
     retry_backoff_cap_s: float = 0.25
     """Upper bound on a single backoff sleep."""
 
+    checkpoint_interval_s: Optional[float] = None
+    """Background-checkpoint period for durable databases. When set (and
+    the database was opened with ``GraphDatabase.open``), a checkpointer
+    thread periodically takes the exclusive write lock and compacts the
+    write-ahead log into a snapshot. ``None`` leaves checkpointing to the
+    engine's own record/byte thresholds and explicit :meth:`~repro.db.\
+database.GraphDatabase.checkpoint` calls."""
+
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
             raise ValueError("max_concurrency must be positive")
         if self.max_pending < 1:
             raise ValueError("max_pending must be positive")
+        if self.checkpoint_interval_s is not None and self.checkpoint_interval_s <= 0:
+            raise ValueError("checkpoint_interval_s must be positive")
 
 
 class QueryStatus(enum.Enum):
@@ -214,6 +224,17 @@ class QueryService:
         ]
         for worker in self._workers:
             worker.start()
+        # Background checkpointer for durable databases: runs under the
+        # exclusive write lock so the snapshot sees a quiescent store.
+        self._checkpoint_stop = threading.Event()
+        self._checkpointer: Optional[threading.Thread] = None
+        if db.durability is not None and self.config.checkpoint_interval_s:
+            self._checkpointer = threading.Thread(
+                target=self._checkpoint_loop,
+                name="query-service-checkpointer",
+                daemon=True,
+            )
+            self._checkpointer.start()
 
     # ------------------------------------------------------------------
     # Submission
@@ -309,9 +330,12 @@ class QueryService:
             )
         if first:
             self.db.plan_cache.unsubscribe(self._plan_cache_event)
+            self._checkpoint_stop.set()
         if wait:
             for worker in self._workers:
                 worker.join()
+            if self._checkpointer is not None:
+                self._checkpointer.join()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -349,10 +373,33 @@ class QueryService:
                 "in_flight": self._in_flight,
                 "shutdown": self._shutdown,
             }
+        if self.db.durability is not None:
+            snapshot["durability"] = self.db.durability.status()
         return snapshot
 
     def _plan_cache_event(self, event: str) -> None:
         self.metrics.counter(f"plan_cache.{event}").inc()
+
+    # ------------------------------------------------------------------
+    # Background checkpointing
+    # ------------------------------------------------------------------
+
+    def _checkpoint_loop(self) -> None:
+        interval = self.config.checkpoint_interval_s
+        assert interval is not None
+        while not self._checkpoint_stop.wait(interval):
+            try:
+                started = time.perf_counter()
+                with self._rw_lock.write_locked():
+                    self.db.durability.checkpoint()
+                self.metrics.counter("durability.checkpoints").inc()
+                self.metrics.histogram("durability.checkpoint_seconds").observe(
+                    time.perf_counter() - started
+                )
+            except BaseException:  # noqa: BLE001 - incl. simulated crashes
+                # A crashed engine performs no further I/O; stop trying.
+                self.metrics.counter("durability.checkpoint_failures").inc()
+                return
 
     # ------------------------------------------------------------------
     # Worker internals
@@ -461,15 +508,39 @@ class QueryService:
         # drain happen under the readers-writer lock: reads share it with
         # each other but never overlap a committing write (which would
         # raise "dictionary changed size during iteration" or tear rows).
+        durability = db.durability
         if is_write:
-            lock = self._rw_lock.write_locked()
+            # Group commit: inside the exclusive lock the commit only
+            # *appends* its log record (deferred_sync); the fsync happens
+            # after the lock is released, so concurrent writers queue up
+            # behind one leader's fsync instead of each paying their own.
+            with self._rw_lock.write_locked():
+                if durability is not None:
+                    with durability.deferred_sync():
+                        result = db.execute(
+                            ticket.query,
+                            ticket.hints,
+                            token=ticket.token,
+                            prepared=cached,
+                        )
+                        rows = self._drain(result, ticket)
+                else:
+                    result = db.execute(
+                        ticket.query, ticket.hints, token=ticket.token, prepared=cached
+                    )
+                    rows = self._drain(result, ticket)
+            if durability is not None:
+                sync_started = time.perf_counter()
+                durability.sync_pending()
+                self.metrics.histogram("durability.sync_seconds").observe(
+                    time.perf_counter() - sync_started
+                )
         else:
-            lock = self._rw_lock.read_locked()
-        with lock:
-            result = db.execute(
-                ticket.query, ticket.hints, token=ticket.token, prepared=cached
-            )
-            rows = self._drain(result, ticket)
+            with self._rw_lock.read_locked():
+                result = db.execute(
+                    ticket.query, ticket.hints, token=ticket.token, prepared=cached
+                )
+                rows = self._drain(result, ticket)
         execution_seconds = time.perf_counter() - execution_started
         delta = db.page_cache.stats.delta_since(before)
         self.metrics.histogram(

@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro                          # REPL on an empty database
+    python -m repro --data mydb/             # REPL on a durable database
+                                             # (WAL + checkpoints, crash-safe)
     python -m repro --snapshot data/         # REPL on a saved snapshot
     python -m repro --execute "MATCH ..."    # one query, print rows, exit
 
@@ -17,6 +19,7 @@ Inside the REPL, statements end with ``;``. Meta-commands:
     :drop-index <name>          remove a path index
     :stats                      node/relationship/index counts
     :metrics                    query-service counters and latency histograms
+    :checkpoint                 durable databases: snapshot + truncate the WAL
     :save <dir> / :load <dir>   snapshot persistence
 
 Queries run through a :class:`repro.service.QueryService` (a 2-worker
@@ -115,6 +118,7 @@ class Shell:
             ":drop-index": self._cmd_drop_index,
             ":stats": self._cmd_stats,
             ":metrics": self._cmd_metrics,
+            ":checkpoint": self._cmd_checkpoint,
             ":save": self._cmd_save,
             ":load": self._cmd_load,
         }.get(command)
@@ -210,6 +214,17 @@ class Shell:
             f"misses, hit ratio {page_cache['hit_ratio']:.3f}"
         )
 
+    def _cmd_checkpoint(self, argument: str) -> None:
+        if self.db.durability is None:
+            self.println("not a durable database (start with --data <dir>)")
+            return
+        self.db.checkpoint()
+        status = self.db.durability.status()
+        self.println(
+            f"checkpoint {status['checkpoint_id']} written "
+            f"({status['directory']}); log truncated"
+        )
+
     def _cmd_save(self, argument: str) -> None:
         if not argument:
             self.println("usage: :save <directory>")
@@ -233,13 +248,22 @@ def main(argv: Optional[list[str]] = None) -> int:
         description="pathindex-repro: Cypher shell with path indexes",
     )
     parser.add_argument(
+        "--data",
+        help="durable database directory (write-ahead log + checkpoints); "
+        "created on first use, recovered on re-open",
+    )
+    parser.add_argument(
         "--snapshot", help="snapshot directory to load (and save on :quit)"
     )
     parser.add_argument(
         "--execute", "-e", help="run one query, print its rows, and exit"
     )
     args = parser.parse_args(argv)
-    if args.snapshot:
+    if args.data and args.snapshot:
+        parser.error("--data and --snapshot are mutually exclusive")
+    if args.data:
+        db = GraphDatabase.open(args.data)
+    elif args.snapshot:
         try:
             db = load_snapshot(args.snapshot)
         except FileNotFoundError:
@@ -257,3 +281,4 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
     finally:
         shell.close()
+        shell.db.close()

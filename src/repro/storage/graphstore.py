@@ -95,10 +95,14 @@ class GraphStore:
     # Nodes
     # ------------------------------------------------------------------
 
-    def create_node(self, label_ids: Iterable[int] = ()) -> int:
-        """Create a node with the given labels; returns its id."""
+    def create_node(
+        self, label_ids: Iterable[int] = (), node_id: Optional[int] = None
+    ) -> int:
+        """Create a node with the given labels; returns its id.
+
+        ``node_id`` forces a specific id (WAL replay)."""
         labels = frozenset(label_ids)
-        node_id = self.nodes.allocate_id()
+        node_id = self.nodes.allocate_id(requested=node_id)
         self.nodes.write(node_id, NodeRecord(id=node_id, labels=labels))
         self._degrees[node_id] = 0
         for label_id in labels:
@@ -233,11 +237,15 @@ class GraphStore:
     # Relationships
     # ------------------------------------------------------------------
 
-    def create_relationship(self, start: int, end: int, type_id: int) -> int:
-        """Create ``(start)-[:type]->(end)``; returns the relationship id."""
+    def create_relationship(
+        self, start: int, end: int, type_id: int, rel_id: Optional[int] = None
+    ) -> int:
+        """Create ``(start)-[:type]->(end)``; returns the relationship id.
+
+        ``rel_id`` forces a specific id (WAL replay)."""
         start_record = self.nodes.read(start)
         end_record = self.nodes.read(end)
-        rel_id = self.relationships.allocate_id()
+        rel_id = self.relationships.allocate_id(requested=rel_id)
         rel = RelationshipRecord(
             id=rel_id, type_id=type_id, start_node=start, end_node=end
         )

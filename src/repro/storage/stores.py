@@ -33,8 +33,34 @@ class RecordStore(Generic[R]):
         self._free_ids: list[int] = []
         self._in_use = 0
 
-    def allocate_id(self) -> int:
-        """Reserve an id (reusing freed ids first, like Neo4j's id files)."""
+    def allocate_id(self, requested: Optional[int] = None) -> int:
+        """Reserve an id (reusing freed ids first, like Neo4j's id files).
+
+        ``requested`` forces a specific id — WAL replay uses this so node
+        and relationship ids come out exactly as logged regardless of the
+        free-list order the restored store happens to have. The requested
+        slot must be unoccupied; ids skipped over by extending the file
+        become free ids.
+        """
+        if requested is not None:
+            if requested < 0:
+                raise StorageError(f"{self.name}: invalid id {requested}")
+            if requested < len(self._records):
+                if self._records[requested] is not None:
+                    raise StorageError(
+                        f"{self.name}: id {requested} is already in use"
+                    )
+                try:
+                    self._free_ids.remove(requested)
+                except ValueError:
+                    raise StorageError(
+                        f"{self.name}: id {requested} is already allocated"
+                    ) from None
+                return requested
+            for skipped in range(len(self._records), requested):
+                self._free_ids.append(skipped)
+            self._records.extend([None] * (requested + 1 - len(self._records)))
+            return requested
         if self._free_ids:
             return self._free_ids.pop()
         self._records.append(None)

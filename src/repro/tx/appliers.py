@@ -12,6 +12,11 @@ At commit, the transaction invokes each registered applier twice:
 
 Graph statistics are maintained inside :class:`~repro.storage.GraphStore`
 mutations, so no separate statistics applier is needed.
+
+Registration order is load-bearing: the durability engine's WAL applier is
+registered *after* the path-index maintainer, so by the time it serializes
+the commit record in ``after_apply`` the maintainer has already produced
+the index deltas the record must include.
 """
 
 from __future__ import annotations

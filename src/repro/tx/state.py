@@ -48,6 +48,11 @@ class TransactionState:
     # Undo log of callables reverting eagerly-applied operations, in order.
     undo_log: list = field(default_factory=list)
 
+    # Redo log for durability: every eagerly-applied additive operation as a
+    # string-tagged tuple in call order (destructive operations are derived
+    # from the pending lists at commit). Consumed by repro.durability.
+    redo_log: list[tuple] = field(default_factory=list)
+
     def is_read_only(self) -> bool:
         return not (
             self.created_nodes
@@ -57,6 +62,7 @@ class TransactionState:
             or self.removed_labels
             or self.deleted_nodes
             or self.undo_log
+            or self.redo_log
         )
 
     def pending_deleted_rel_ids(self) -> set[int]:
@@ -70,3 +76,4 @@ class TransactionState:
         self.removed_labels.clear()
         self.deleted_nodes.clear()
         self.undo_log.clear()
+        self.redo_log.clear()

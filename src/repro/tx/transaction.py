@@ -94,9 +94,11 @@ class Transaction:
 
     def create_node(self, label_ids: Iterable[int] = ()) -> int:
         self._check_open()
+        label_ids = list(label_ids)
         node_id = self._store.create_node(label_ids)
         self.state.created_nodes.append(node_id)
         self.state.undo_log.append(lambda: self._store.delete_node(node_id))
+        self.state.redo_log.append(("create_node", node_id, sorted(label_ids)))
         return node_id
 
     def create_relationship(self, start: int, end: int, type_id: int) -> int:
@@ -104,6 +106,7 @@ class Transaction:
         rel_id = self._store.create_relationship(start, end, type_id)
         self.state.created_relationships.append(rel_id)
         self.state.undo_log.append(lambda: self._store.delete_relationship(rel_id))
+        self.state.redo_log.append(("create_rel", rel_id, start, end, type_id))
         return rel_id
 
     def add_label(self, node_id: int, label_id: int) -> bool:
@@ -114,6 +117,7 @@ class Transaction:
             self.state.undo_log.append(
                 lambda: self._store.remove_label(node_id, label_id)
             )
+            self.state.redo_log.append(("add_label", node_id, label_id))
         return added
 
     def set_node_property(self, node_id: int, key_id: int, value: object) -> None:
@@ -128,6 +132,7 @@ class Transaction:
             self.state.undo_log.append(
                 lambda: self._store.set_node_property(node_id, key_id, old)
             )
+        self.state.redo_log.append(("set_node_prop", node_id, key_id, value))
 
     def set_relationship_property(
         self, rel_id: int, key_id: int, value: object
@@ -138,6 +143,7 @@ class Transaction:
         self.state.undo_log.append(
             lambda: self._store.set_relationship_property(rel_id, key_id, old)
         )
+        self.state.redo_log.append(("set_rel_prop", rel_id, key_id, value))
 
     def delete_relationship(self, rel_id: int) -> None:
         """Defer the deletion to commit (maintenance must see the old paths)."""

@@ -43,6 +43,11 @@ class TreePager:
         if self.page_cache is not None:
             self.page_cache.touch_page(self.file_name, page_id)
 
+    def touch_run(self, first_page: int, count: int) -> None:
+        """Report visits to a run of contiguous node pages (one lock trip)."""
+        if self.page_cache is not None:
+            self.page_cache.touch_run(self.file_name, first_page, count)
+
     @property
     def allocated_pages(self) -> int:
         """Pages currently holding live tree nodes."""

@@ -141,25 +141,47 @@ class BPlusTree:
     # ------------------------------------------------------------------
 
     def scan(self) -> Iterator[tuple[int, ...]]:
-        """All entries in ascending key order (a full index scan)."""
+        """All entries in ascending key order (a full index scan).
+
+        Leaf visits are reported to the page cache in runs of contiguous
+        page ids (one lock acquisition per run); a run is flushed before
+        the first key of the leaf that breaks it, and the trailing run is
+        flushed when the scan finishes or its consumer stops early.
+        """
         leaf = self._leftmost_leaf()
-        while leaf is not None:
-            self.pager.touch(leaf.page_id)
-            yield from leaf.keys
-            leaf = leaf.next_leaf
+        run_start = 0
+        run_length = 0
+        try:
+            while leaf is not None:
+                page_id = leaf.page_id
+                if run_length and page_id == run_start + run_length:
+                    run_length += 1
+                else:
+                    if run_length:
+                        self.pager.touch_run(run_start, run_length)
+                    run_start = page_id
+                    run_length = 1
+                yield from leaf.keys
+                leaf = leaf.next_leaf
+        finally:
+            if run_length:
+                self.pager.touch_run(run_start, run_length)
 
     def scan_from(self, lower: Sequence[int]) -> Iterator[tuple[int, ...]]:
         """Entries ≥ ``lower`` in ascending order (seek then scan)."""
         lower_tuple = validate_key(lower, self.key_width)
+        # _descend already reports the first leaf to the page cache; only
+        # subsequent leaves of the chain walk are touched here.
         leaf = self._descend(lower_tuple)
         index = bisect.bisect_left(leaf.keys, lower_tuple)
         while leaf is not None:
-            self.pager.touch(leaf.page_id)
             keys = leaf.keys
             for position in range(index, len(keys)):
                 yield keys[position]
             leaf = leaf.next_leaf
             index = 0
+            if leaf is not None:
+                self.pager.touch(leaf.page_id)
 
     def scan_prefix(self, prefix: Sequence[int]) -> Iterator[tuple[int, ...]]:
         """Entries whose key starts with ``prefix`` (logarithmic seek)."""
@@ -170,8 +192,29 @@ class BPlusTree:
             yield key
 
     def count_prefix(self, prefix: Sequence[int]) -> int:
-        """Number of entries sharing ``prefix`` (exact cardinality lookup)."""
-        return sum(1 for _ in self.scan_prefix(prefix))
+        """Number of entries sharing ``prefix`` (exact cardinality lookup).
+
+        Cost is one boundary descent plus the leaf-chain walk: interior
+        leaves fully covered by the prefix contribute ``len(leaf.keys)``
+        without key iteration; only the boundary leaf bisects for the
+        upper bound. This sits on the planner's cardinality-lookup path.
+        """
+        lower, upper = prefix_range(prefix, self.key_width)
+        lower_tuple = validate_key(lower, self.key_width)
+        leaf = self._descend(lower_tuple)
+        index = bisect.bisect_left(leaf.keys, lower_tuple)
+        total = 0
+        while leaf is not None:
+            keys = leaf.keys
+            if keys and keys[-1] < upper:
+                total += len(keys) - index
+            else:
+                return total + bisect.bisect_left(keys, upper, index) - index
+            leaf = leaf.next_leaf
+            index = 0
+            if leaf is not None:
+                self.pager.touch(leaf.page_id)
+        return total
 
     def first(self) -> Optional[tuple[int, ...]]:
         """Smallest entry or None when empty."""

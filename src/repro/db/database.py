@@ -15,6 +15,7 @@ the iterator runtime — behind a compact public API:
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Iterable, Optional, Union
@@ -61,12 +62,16 @@ class GraphDatabase:
         miss_latency_s: float = DEFAULT_MISS_LATENCY_S,
         dense_node_threshold: int = DEFAULT_DENSE_NODE_THRESHOLD,
         maintenance_strategy: str = QUERY_BASED,
-        execution_mode: str = "batched",
+        execution_mode: Optional[str] = None,
     ) -> None:
-        if execution_mode not in ("row", "batched"):
+        if execution_mode is None:
+            execution_mode = os.environ.get("REPRO_EXECUTION_MODE", "batched")
+        if execution_mode not in ("row", "batched", "compiled"):
             raise ReproError(f"unknown execution mode {execution_mode!r}")
         #: Default engine for :meth:`execute` — "batched" (morsel-at-a-time
-        #: over slot rows) or "row" (the legacy tuple-at-a-time pipeline).
+        #: over slot rows), "compiled" (data-centric Python codegen), or
+        #: "row" (the legacy tuple-at-a-time pipeline). Defaults to the
+        #: ``REPRO_EXECUTION_MODE`` environment variable, then "batched".
         self.execution_mode = execution_mode
         self.page_cache = PageCache(page_cache_pages, page_size, miss_latency_s)
         self.store = GraphStore(self.page_cache, dense_node_threshold)
@@ -245,30 +250,56 @@ class GraphDatabase:
         ``prepared`` (from :meth:`prepare`) skips the plan-cache lookup —
         the service layer uses it so planning is looked up and timed
         exactly once. ``execution_mode`` selects the engine per call
-        ("batched" or "row"), defaulting to the database-wide
+        ("batched", "compiled" or "row"), defaulting to the database-wide
         :attr:`execution_mode`.
         """
         submitted = time.perf_counter()
         mode = execution_mode if execution_mode is not None else self.execution_mode
-        if mode not in ("row", "batched"):
+        if mode not in ("row", "batched", "compiled"):
             raise ReproError(f"unknown execution mode {mode!r}")
         cached = prepared if prepared is not None else self._planned(query_text, hints)
         executor = Executor(
             self.store, self.indexes, cached.analyzed.variable_kinds
         )
+        compiled = self._compiled(cached, executor) if mode == "compiled" else None
         if not cached.analyzed.is_write:
             rows, profile = executor.execute(
-                cached.planned_parts, token=token, mode=mode
+                cached.planned_parts, token=token, mode=mode, compiled=compiled
             )
             return Result(rows, cached.columns, profile, submitted)
         with self._write_tx() as (tx, own):
             rows, profile = executor.execute(
-                cached.planned_parts, transaction=tx, token=token, mode=mode
+                cached.planned_parts,
+                transaction=tx,
+                token=token,
+                mode=mode,
+                compiled=compiled,
             )
             materialized = list(rows)
             if own:
                 tx.success()
         return Result(iter(materialized), cached.columns, profile, submitted)
+
+    def _compiled(self, cached: CachedQuery, executor: Executor):
+        """The cached codegen artifact for ``cached``, compiling on first
+        use. The artifact lives on the plan-cache entry, so statistics
+        drift or index changes invalidate both together."""
+        artifact = cached.compiled
+        if artifact is None:
+            artifact = executor.compile_artifact(cached.planned_parts)
+            cached.compiled = artifact
+        return artifact
+
+    def compiled_source(
+        self, query_text: str, hints: Optional[PlannerHints] = None
+    ) -> str:
+        """The generated Python pipeline source for a query (the shell's
+        ``:source`` meta-command), compiling and caching the artifact."""
+        cached = self._planned(query_text, hints)
+        executor = Executor(
+            self.store, self.indexes, cached.analyzed.variable_kinds
+        )
+        return self._compiled(cached, executor).source()
 
     def prepare(self, query_text: str, hints: Optional[PlannerHints] = None) -> CachedQuery:
         """Analyze and plan a query (through the plan cache) without running

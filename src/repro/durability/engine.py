@@ -150,7 +150,7 @@ class DurabilityEngine:
         miss_latency_s: Optional[float] = None,
         dense_node_threshold: Optional[int] = None,
         maintenance_strategy: Optional[str] = None,
-        execution_mode: str = "batched",
+        execution_mode: Optional[str] = None,
     ) -> "GraphDatabase":
         """Open (creating or recovering) a durable database directory."""
         from repro.db.database import GraphDatabase

@@ -1,0 +1,184 @@
+"""Compiled (data-centric codegen) execution mode.
+
+``compile_query`` turns a planned query into a :class:`CompiledQuery`: one
+exec-compiled Python pipeline function per query part (see
+:mod:`repro.runtime.compiled.codegen`), with ``None`` marking parts that
+fell back to the batched engine because a plan node has no compiled form.
+The artifact is cached on the plan-cache entry, so it shares the plan's
+invalidation (statistics drift, index set changes).
+
+Fallbacks are recorded in a process-wide counter keyed by reason —
+:func:`fallback_counts` — so benchmarks and tests can assert that the
+paper's query shapes compile fully.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.planner.plans import LogicalPlan
+from repro.runtime.batched import SlotLayout
+from repro.runtime.compiled.codegen import (
+    CHECK_STRIDE,
+    PRODUCERS,
+    CompiledUnsupported,
+    PartCompiler,
+    generate_part_source,
+)
+from repro.runtime.operators import RuntimeContext
+
+__all__ = [
+    "CHECK_STRIDE",
+    "PRODUCERS",
+    "CompiledPart",
+    "CompiledQuery",
+    "CompiledUnsupported",
+    "compile_query",
+    "fallback_counts",
+    "reset_fallback_counts",
+    "PartCompiler",
+]
+
+_fallback_lock = threading.Lock()
+_fallbacks: Counter = Counter()
+
+
+def record_fallback(reason: str) -> None:
+    """Count one batched-engine fallback with its reason."""
+    with _fallback_lock:
+        _fallbacks[reason] += 1
+
+
+def fallback_counts() -> dict[str, int]:
+    """Snapshot of fallback reasons → occurrence counts."""
+    with _fallback_lock:
+        return dict(_fallbacks)
+
+
+def reset_fallback_counts() -> None:
+    with _fallback_lock:
+        _fallbacks.clear()
+
+
+@dataclass
+class CompiledPart:
+    """One query part's exec-compiled pipeline.
+
+    ``fn(slot_arg, flush, check)`` yields morsels; items are finished
+    :class:`~repro.runtime.row.Row` objects when ``row_sink`` is set,
+    full slot rows otherwise. ``plans`` lists the plan nodes in counter
+    order for ``flush``. ``lock`` guards the shared layout's runtime slot
+    allocation (``row_from``) because the artifact — unlike the batched
+    engine's per-execution layouts — is reused across executions.
+    """
+
+    fn: object
+    source: str
+    layout: SlotLayout
+    plans: list[LogicalPlan]
+    row_sink: bool
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+@dataclass
+class CompiledQuery:
+    """Compiled pipelines for all parts of one query.
+
+    ``parts[i]`` is None when part ``i`` fell back to the batched engine;
+    ``fallback_reasons`` records why (aligned with fallen-back parts in
+    order). ``morsel_size`` is baked into the generated output chunking,
+    so executions with a different morsel size must recompile.
+    """
+
+    parts: list[Optional[CompiledPart]]
+    fallback_reasons: list[str]
+    morsel_size: int
+
+    @property
+    def fully_compiled(self) -> bool:
+        return all(part is not None for part in self.parts)
+
+    def source(self) -> str:
+        """The generated Python source for all parts (shell ``:source``)."""
+        sections = []
+        for position, part in enumerate(self.parts):
+            header = f"# ---- part {position} ----"
+            if part is None:
+                reason = (
+                    self.fallback_reasons[
+                        sum(1 for p in self.parts[:position] if p is None)
+                    ]
+                    if self.fallback_reasons
+                    else "unknown"
+                )
+                sections.append(f"{header}\n# falls back to batched: {reason}\n")
+            else:
+                sections.append(f"{header}\n{part.source}")
+        return "\n".join(sections)
+
+
+def compile_part(
+    part,
+    plan: LogicalPlan,
+    ctx: RuntimeContext,
+    arg_names: Sequence[str] = (),
+    position: int = 0,
+) -> CompiledPart:
+    """Compile one part; raises :class:`CompiledUnsupported`."""
+    layout = SlotLayout()
+    source, env, plans, row_sink = generate_part_source(
+        part, plan, ctx, layout, arg_names
+    )
+    namespace = dict(env)
+    code = compile(source, f"<compiled:part{position}>", "exec")
+    exec(code, namespace)
+    return CompiledPart(
+        fn=namespace["_pipeline"],
+        source=source,
+        layout=layout,
+        plans=plans,
+        row_sink=row_sink,
+    )
+
+
+def compile_query(
+    planned_parts: Sequence[tuple[object, LogicalPlan]],
+    ctx: RuntimeContext,
+) -> CompiledQuery:
+    """Compile every part of a planned query, falling back per part.
+
+    ``planned_parts`` is the plan cache's ``(QueryPart, LogicalPlan)``
+    sequence; ``ctx`` supplies the store, index store, evaluation context
+    and morsel size the generated code binds at compile time (the profile
+    and token on ``ctx`` are *not* captured — they arrive per execution
+    through the ``flush``/``check`` arguments).
+    """
+    parts: list[Optional[CompiledPart]] = []
+    reasons: list[str] = []
+    arg_names: Sequence[str] = ()
+    for position, (part, plan) in enumerate(planned_parts):
+        try:
+            compiled = compile_part(part, plan, ctx, arg_names, position)
+        except CompiledUnsupported as exc:
+            record_fallback(exc.reason)
+            reasons.append(exc.reason)
+            parts.append(None)
+            arg_names = tuple(
+                item.output_name for item in getattr(part, "projection", ())
+            )
+            continue
+        parts.append(compiled)
+        # Pre-allocate everything the next part can receive through its
+        # argument row, so runtime slot allocation is the exception.
+        if part.projection:
+            arg_names = tuple(item.output_name for item in part.projection)
+        else:
+            arg_names = tuple(compiled.layout.slots)
+    return CompiledQuery(
+        parts=parts,
+        fallback_reasons=reasons,
+        morsel_size=ctx.morsel_size,
+    )

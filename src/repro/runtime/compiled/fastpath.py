@@ -1,0 +1,118 @@
+"""Store access fast paths bound into generated pipelines.
+
+The interpreted engines reach records through the full store stack —
+``read`` → ``try_read`` → ``_touch`` → ``PageCache.touch`` →
+``PageCache.touch_page`` — which costs five Python frames per record on
+top of the generator frames of :meth:`GraphStore.expand`. In a fused
+pipeline those frames dominate expand-heavy queries, so the compiled
+engine binds the closures below instead: they walk the same chains and
+buckets with direct record-list access and issue exactly one
+``touch_page`` call per record read.
+
+Page-cache accounting stays observably identical: every record access
+touches the same page, in the same order, as the interpreted path would
+(the arithmetic ``record_id * record_size // page_size`` is what
+``RecordStore._touch`` computes). Dense nodes keep using the store's
+group-chain iterator — their per-type chains are already selective, and
+duplicating that logic here would buy little.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RecordNotFoundError
+from repro.storage.graphstore import Direction, GraphStore
+
+
+def make_expander(store: GraphStore):
+    """A closure ``expand(node_id, direction, type_id)`` yielding
+    ``(rel_id, neighbour_id, type_id)`` — the compiled form of
+    :meth:`GraphStore.expand` with the sparse chain walk inlined."""
+    nodes_read = store.nodes.read
+    rel_store = store.relationships
+    records = rel_store._records
+    file_name = rel_store.name
+    record_size = rel_store.record_size
+    page_cache = store.page_cache
+    touch_page = page_cache.touch_page
+    page_size = page_cache.page_size
+    rels_of = store.relationships_of
+    incoming = Direction.INCOMING
+    outgoing = Direction.OUTGOING
+
+    def expand(node_id, direction, type_id):
+        record = nodes_read(node_id)
+        if record.dense:
+            for rel in rels_of(node_id, direction, type_id):
+                start = rel.start_node
+                yield rel.id, (
+                    rel.end_node if node_id == start else start
+                ), rel.type_id
+            return
+        out_ok = direction is not incoming
+        in_ok = direction is not outgoing
+        pointer = record.first_rel
+        while pointer != -1:
+            touch_page(file_name, pointer * record_size // page_size)
+            rel = records[pointer]
+            if rel is None:
+                raise RecordNotFoundError(
+                    f"{file_name}: no record {pointer}"
+                )
+            start = rel.start_node
+            end = rel.end_node
+            if type_id is None or rel.type_id == type_id:
+                if start == end:
+                    if start == node_id:
+                        yield rel.id, node_id, rel.type_id
+                elif node_id == start:
+                    if out_ok:
+                        yield rel.id, end, rel.type_id
+                elif in_ok:
+                    yield rel.id, start, rel.type_id
+            pointer = rel.start_next if node_id == start else rel.end_next
+        return
+
+    return expand
+
+
+def make_label_scanner(store: GraphStore):
+    """A closure ``scan(label_id)`` yielding node ids from the label
+    index, touching each node's page like the interpreted scan does."""
+    node_store = store.nodes
+    file_name = node_store.name
+    record_size = node_store.record_size
+    page_cache = store.page_cache
+    touch_page = page_cache.touch_page
+    page_size = page_cache.page_size
+    buckets = store._label_index
+
+    def scan(label_id):
+        bucket = buckets.get(label_id)
+        if bucket is None:
+            return
+        for node_id in list(bucket):
+            touch_page(file_name, node_id * record_size // page_size)
+            yield node_id
+
+    return scan
+
+
+def make_label_checker(store: GraphStore):
+    """A closure ``has_label(node_id, label_id)`` — the compiled form of
+    :meth:`GraphStore.has_label`, one page touch per check."""
+    node_store = store.nodes
+    records = node_store._records
+    file_name = node_store.name
+    record_size = node_store.record_size
+    page_cache = store.page_cache
+    touch_page = page_cache.touch_page
+    page_size = page_cache.page_size
+
+    def has_label(node_id, label_id):
+        touch_page(file_name, node_id * record_size // page_size)
+        record = records[node_id]
+        if record is None:
+            raise RecordNotFoundError(f"{file_name}: no record {node_id}")
+        return label_id in record.labels
+
+    return has_label

@@ -19,6 +19,7 @@ from repro.pathindex.store import PathIndexStore
 from repro.planner.plans import LogicalPlan
 from repro.querygraph import QueryPart, UpdateAction
 from repro.runtime.batched import SlotLayout, compile_batched_plan
+from repro.runtime.compiled import CompiledPart, CompiledQuery, compile_query
 from repro.runtime.expressions import EvaluationContext, evaluate
 from repro.runtime.operators import (
     OperatorProfile,
@@ -29,6 +30,10 @@ from repro.runtime.operators import (
 from repro.runtime.row import Row
 from repro.storage.graphstore import GraphStore
 from repro.tx.transaction import Transaction
+
+
+def _no_check() -> None:
+    """Cancellation no-op for tokenless compiled executions."""
 
 
 class ExecutionProfile:
@@ -61,6 +66,24 @@ class Executor:
         self.variable_kinds = variable_kinds
         self.eval_ctx = EvaluationContext(store, variable_kinds)
 
+    def compile_artifact(
+        self,
+        planned_parts: Sequence[tuple[QueryPart, LogicalPlan]],
+        morsel_size: Optional[int] = None,
+    ) -> CompiledQuery:
+        """Compile the codegen artifact for ``planned_parts``.
+
+        The artifact binds the store, indexes and expression closures at
+        compile time but takes profile/cancellation hooks per execution,
+        so one artifact serves every later execution of the cached plan.
+        """
+        ctx = RuntimeContext(
+            self.store, self.index_store, self.eval_ctx, OperatorProfile()
+        )
+        if morsel_size is not None:
+            ctx.morsel_size = morsel_size
+        return compile_query(planned_parts, ctx)
+
     def execute(
         self,
         planned_parts: Sequence[tuple[QueryPart, LogicalPlan]],
@@ -69,16 +92,21 @@ class Executor:
         token: Optional[object] = None,
         mode: str = "row",
         morsel_size: Optional[int] = None,
+        compiled: Optional[CompiledQuery] = None,
     ) -> tuple[Iterator[Row], ExecutionProfile]:
         """Build the row iterator for the whole query; lazy for reads.
 
         ``token`` is an optional cooperative cancellation token (see
         ``repro.service.cancellation``) checked at row boundaries (``mode
-        ="row"``) or morsel boundaries (``mode="batched"``). ``mode``
+        ="row"``), morsel boundaries (``mode="batched"``), or every
+        ~``CHECK_STRIDE`` operator outputs (``mode="compiled"``). ``mode``
         selects the execution engine; ``morsel_size`` overrides the
-        batched engine's batch size (mainly for tests).
+        batched/compiled engines' batch size (mainly for tests).
+        ``compiled`` supplies a cached codegen artifact for
+        ``mode="compiled"``; when absent (or compiled for a different
+        morsel size) the plans are compiled on the fly.
         """
-        if mode not in ("row", "batched"):
+        if mode not in ("row", "batched", "compiled"):
             raise ReproError(f"unknown execution mode {mode!r}")
         profile = ExecutionProfile([plan for _, plan in planned_parts])
         ctx = RuntimeContext(
@@ -90,8 +118,16 @@ class Executor:
         )
         if morsel_size is not None:
             ctx.morsel_size = morsel_size
-        run_part = self._run_part_batched if mode == "batched" else self._run_part
         rows: Iterator[Row] = iter([initial_row or Row.empty()])
+        if mode == "compiled":
+            if compiled is None or compiled.morsel_size != ctx.morsel_size:
+                compiled = compile_query(planned_parts, ctx)
+            for (part, plan), cpart in zip(planned_parts, compiled.parts):
+                rows = self._run_part_compiled(
+                    rows, part, plan, ctx, transaction, cpart
+                )
+            return rows, profile
+        run_part = self._run_part_batched if mode == "batched" else self._run_part
         for part, plan in planned_parts:
             rows = run_part(rows, part, plan, ctx, transaction)
         return rows, profile
@@ -167,6 +203,75 @@ class Executor:
 
         def row_pipeline(arg_row: Row) -> Iterator[Row]:
             for morsel in pipeline(layout.row_from(arg_row)):
+                for slot_row in morsel:
+                    yield layout.row_to(slot_row)
+
+        return self._run_update_part(input_rows, part, row_pipeline, transaction)
+
+    def _run_part_compiled(
+        self,
+        input_rows: Iterator[Row],
+        part: QueryPart,
+        plan: LogicalPlan,
+        ctx: RuntimeContext,
+        transaction: Optional[Transaction],
+        cpart: Optional[CompiledPart],
+    ) -> Iterator[Row]:
+        """Codegen counterpart of :meth:`_run_part_batched`.
+
+        ``cpart`` is the part's compiled pipeline, or None when it fell
+        back to the batched engine. The generated function receives its
+        per-execution dependencies — the profile flush and the
+        cancellation check — as arguments; everything compile-time
+        (store, index, expression closures, tokens) is baked in.
+        """
+        if cpart is None:
+            return self._run_part_batched(input_rows, part, plan, ctx, transaction)
+        fn = cpart.fn
+        layout = cpart.layout
+        plans = cpart.plans
+        record = ctx.profile.record
+
+        def flush(counts: tuple) -> None:
+            for node, count in zip(plans, counts):
+                if count:
+                    record(node, count)
+
+        token = ctx.token
+        if token is None:
+            check = _no_check
+        else:
+            check = getattr(token, "check_batch", None) or token.check
+
+        def slot_arg(arg_row: Row) -> list:
+            # The layout is shared across executions of the cached
+            # artifact; runtime slot allocation for unforeseen argument
+            # names must not race.
+            with cpart.lock:
+                return layout.row_from(arg_row)
+
+        if not part.updates:
+            if cpart.row_sink:
+
+                def run_read() -> Iterator[Row]:
+                    for arg_row in input_rows:
+                        for morsel in fn(slot_arg(arg_row), flush, check):
+                            yield from morsel
+
+            else:
+
+                def run_read() -> Iterator[Row]:
+                    for arg_row in input_rows:
+                        for morsel in fn(slot_arg(arg_row), flush, check):
+                            for slot_row in morsel:
+                                yield layout.row_to(slot_row)
+
+            return run_read()
+        if transaction is None:
+            raise TransactionError("update query requires an open transaction")
+
+        def row_pipeline(arg_row: Row) -> Iterator[Row]:
+            for morsel in fn(slot_arg(arg_row), flush, check):
                 for slot_row in morsel:
                     yield layout.row_to(slot_row)
 

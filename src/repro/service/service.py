@@ -87,6 +87,11 @@ class ServiceConfig:
     engine's own record/byte thresholds and explicit :meth:`~repro.db.\
 database.GraphDatabase.checkpoint` calls."""
 
+    execution_mode: Optional[str] = None
+    """Runtime engine for queries executed through the service:
+    ``"row"``, ``"batched"`` or ``"compiled"``. ``None`` inherits the
+    database's default (``REPRO_EXECUTION_MODE`` / constructor)."""
+
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
             raise ValueError("max_concurrency must be positive")
@@ -94,6 +99,10 @@ database.GraphDatabase.checkpoint` calls."""
             raise ValueError("max_pending must be positive")
         if self.checkpoint_interval_s is not None and self.checkpoint_interval_s <= 0:
             raise ValueError("checkpoint_interval_s must be positive")
+        if self.execution_mode not in (None, "row", "batched", "compiled"):
+            raise ValueError(
+                "execution_mode must be 'row', 'batched' or 'compiled'"
+            )
 
 
 class QueryStatus(enum.Enum):
@@ -522,11 +531,16 @@ class QueryService:
                             ticket.hints,
                             token=ticket.token,
                             prepared=cached,
+                            execution_mode=self.config.execution_mode,
                         )
                         rows = self._drain(result, ticket)
                 else:
                     result = db.execute(
-                        ticket.query, ticket.hints, token=ticket.token, prepared=cached
+                        ticket.query,
+                        ticket.hints,
+                        token=ticket.token,
+                        prepared=cached,
+                        execution_mode=self.config.execution_mode,
                     )
                     rows = self._drain(result, ticket)
             if durability is not None:
@@ -538,7 +552,11 @@ class QueryService:
         else:
             with self._rw_lock.read_locked():
                 result = db.execute(
-                    ticket.query, ticket.hints, token=ticket.token, prepared=cached
+                    ticket.query,
+                    ticket.hints,
+                    token=ticket.token,
+                    prepared=cached,
+                    execution_mode=self.config.execution_mode,
                 )
                 rows = self._drain(result, ticket)
         execution_seconds = time.perf_counter() - execution_started

@@ -130,16 +130,18 @@ class PageCache:
         if not self.enabled:
             return True
         with self._lock:
-            state = self._files.get(file_name)
-            if state is None:
-                state = _FileState(file_name)
-                self._files[file_name] = state
             key = (file_name, page_id)
             lru = self._lru
+            # Hits are the overwhelmingly common case in warm scans, so
+            # the hit path does nothing but the LRU bump.
             if key in lru:
                 lru.move_to_end(key)
                 self.stats.hits += 1
                 return True
+            state = self._files.get(file_name)
+            if state is None:
+                state = _FileState(file_name)
+                self._files[file_name] = state
             self.stats.misses += 1
             if self._resident_total >= self.capacity_pages:
                 old_key, _ = lru.popitem(last=False)
@@ -151,6 +153,46 @@ class PageCache:
             state.resident[page_id] = None
             self._resident_total += 1
             return False
+
+    def touch_run(self, file_name: str, first_page: int, count: int) -> int:
+        """Record accesses to ``count`` contiguous pages from ``first_page``.
+
+        Equivalent to ``count`` :meth:`touch_page` calls in ascending page
+        order but takes the lock once for the whole run, which is what
+        sequential scans (B+-tree leaf chains, record-store sweeps) use to
+        cut lock traffic. Returns the number of hits in the run.
+        """
+        if count <= 0:
+            return 0
+        if not self.enabled:
+            return count
+        hits = 0
+        with self._lock:
+            state = self._files.get(file_name)
+            if state is None:
+                state = _FileState(file_name)
+                self._files[file_name] = state
+            lru = self._lru
+            stats = self.stats
+            resident = state.resident
+            capacity = self.capacity_pages
+            for page_id in range(first_page, first_page + count):
+                key = (file_name, page_id)
+                if key in lru:
+                    lru.move_to_end(key)
+                    stats.hits += 1
+                    hits += 1
+                    continue
+                stats.misses += 1
+                if self._resident_total >= capacity:
+                    old_key, _ = lru.popitem(last=False)
+                    self._files[old_key[0]].resident.pop(old_key[1], None)
+                    self._resident_total -= 1
+                    stats.evictions += 1
+                lru[key] = None
+                resident[page_id] = None
+                self._resident_total += 1
+        return hits
 
     def flush(self) -> None:
         """Drop all resident pages (the paper's database re-open for cold runs)."""

@@ -109,11 +109,35 @@ class RecordStore(Generic[R]):
         )
 
     def ids_in_use(self) -> Iterator[int]:
-        """All live record ids in id order (a sequential store scan)."""
-        for record_id, record in enumerate(self._records):
-            if record is not None:
-                self._touch(record_id)
+        """All live record ids in id order (a sequential store scan).
+
+        The sweep accounts pages like a real sequential read: each page is
+        touched once, and contiguous pages are reported to the cache in
+        runs (one lock acquisition per run, flushed when a gap breaks the
+        run or the consumer stops). Point reads keep per-record touches.
+        """
+        page_size = self._page_cache.page_size
+        record_size = self.record_size
+        touch_run = self._page_cache.touch_run
+        run_start = -1
+        run_end = -1  # exclusive
+        try:
+            for record_id, record in enumerate(self._records):
+                if record is None:
+                    continue
+                page_id = record_id * record_size // page_size
+                if page_id >= run_end:
+                    if page_id == run_end:
+                        run_end += 1
+                    else:
+                        if run_start >= 0:
+                            touch_run(self.name, run_start, run_end - run_start)
+                        run_start = page_id
+                        run_end = page_id + 1
                 yield record_id
+        finally:
+            if run_start >= 0:
+                touch_run(self.name, run_start, run_end - run_start)
 
     def __len__(self) -> int:
         return self._in_use

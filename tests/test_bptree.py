@@ -198,6 +198,57 @@ def test_prefix_seek_touches_fewer_pages_than_full_scan():
     assert seek_misses < scan_misses
 
 
+def test_scan_from_touch_counts_are_exact():
+    # Regression: scan_from used to touch the first leaf twice (once in
+    # _descend, once in the chain walk), inflating hit counts in the
+    # page-cache ablation benchmarks. A full scan_from must account
+    # exactly height (descent, first leaf included) + one access per
+    # additional leaf in the chain.
+    cache = PageCache(page_size=128)
+    tree = BPlusTree(key_width=2, page_cache=cache, file_name="idx")
+    for i in range(300):
+        tree.insert((i, i))
+    leaf = tree._leftmost_leaf()
+    leaf_count = 0
+    while leaf is not None:
+        leaf_count += 1
+        leaf = leaf.next_leaf
+    before = cache.stats.snapshot()
+    assert list(tree.scan_from((0, 0))) == [(i, i) for i in range(300)]
+    delta = cache.stats.delta_since(before)
+    assert delta.accesses == tree.height + (leaf_count - 1)
+
+
+def test_count_prefix_matches_scan_prefix():
+    cache = PageCache(page_size=128)
+    tree = BPlusTree(key_width=2, page_cache=cache, file_name="idx")
+    for i in range(400):
+        for j in range(i % 4):
+            tree.insert((i, j))
+    for prefix in [(0,), (1,), (17,), (399,), (400,), (250, 1)]:
+        assert tree.count_prefix(prefix) == len(list(tree.scan_prefix(prefix)))
+    # Counting touches the same pages a prefix scan does, not more.
+    cache.flush()
+    before = cache.stats.snapshot()
+    tree.count_prefix((250,))
+    count_misses = cache.stats.delta_since(before).misses
+    cache.flush()
+    before = cache.stats.snapshot()
+    list(tree.scan_prefix((250,)))
+    scan_misses = cache.stats.delta_since(before).misses
+    assert count_misses <= scan_misses
+
+
+def test_count_prefix_empty_and_full_tree():
+    tree = make_tree(key_width=2, order=4)
+    assert tree.count_prefix((5,)) == 0
+    for i in range(50):
+        tree.insert((i, i))
+    assert tree.count_prefix(()) == 50
+    assert tree.count_prefix((7,)) == 1
+    assert tree.count_prefix((50,)) == 0
+
+
 def test_bad_configuration_rejected():
     with pytest.raises(ValueError):
         BPlusTree(key_width=0)

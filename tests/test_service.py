@@ -213,14 +213,22 @@ class _FlakyDatabase(GraphDatabase):
         self.failures_left = failures
         self.attempts_seen = 0
 
-    def execute(self, query_text, hints=None, token=None, prepared=None):
+    def execute(
+        self, query_text, hints=None, token=None, prepared=None, execution_mode=None
+    ):
         cached = prepared if prepared is not None else self.prepare(query_text, hints)
         if cached.analyzed.is_write:
             self.attempts_seen += 1
             if self.failures_left > 0:
                 self.failures_left -= 1
                 raise TransactionError("simulated transient write conflict")
-        return super().execute(query_text, hints, token=token, prepared=cached)
+        return super().execute(
+            query_text,
+            hints,
+            token=token,
+            prepared=cached,
+            execution_mode=execution_mode,
+        )
 
 
 def test_write_conflict_retry_succeeds():

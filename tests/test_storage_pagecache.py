@@ -36,6 +36,48 @@ def test_lru_eviction_bounds_residency():
     assert cache.touch("f", 0) is False
 
 
+def test_touch_run_matches_sequential_touches():
+    # touch_run must be observationally identical to per-page touch_page
+    # calls in ascending order — it only batches the lock acquisition.
+    runs = [("f", 0, 5), ("g", 3, 4), ("f", 2, 6), ("f", 100, 1)]
+    batched = PageCache(capacity_pages=6, page_size=1)
+    sequential = PageCache(capacity_pages=6, page_size=1)
+    for name, first, count in runs:
+        hits = batched.touch_run(name, first, count)
+        expected_hits = sum(
+            sequential.touch_page(name, page)
+            for page in range(first, first + count)
+        )
+        assert hits == expected_hits
+    for cache in (batched, sequential):
+        assert cache.resident_pages <= 6
+    assert batched.stats.hits == sequential.stats.hits
+    assert batched.stats.misses == sequential.stats.misses
+    assert batched.stats.evictions == sequential.stats.evictions
+    assert batched.resident_pages == sequential.resident_pages
+
+
+def test_touch_run_empty_and_disabled():
+    cache = PageCache(capacity_pages=4, page_size=1)
+    assert cache.touch_run("f", 0, 0) == 0
+    cache.enabled = False
+    assert cache.touch_run("f", 0, 3) == 3
+    assert cache.stats.accesses == 0
+
+
+def test_record_store_sequential_scan_touches_pages_once():
+    cache = PageCache(page_size=64)
+    store = RecordStore("rs", record_size=16, page_cache=cache)
+    for i in range(32):  # 8 pages at 4 records/page
+        store.write(store.allocate_id(), i)
+    cache.flush()
+    before = cache.stats.snapshot()
+    assert list(store.ids_in_use()) == list(range(32))
+    delta = cache.stats.delta_since(before)
+    assert delta.misses == 8
+    assert delta.accesses == 8  # one access per page, not per record
+
+
 def test_lru_recency_update():
     cache = PageCache(capacity_pages=2, page_size=1)
     cache.touch("f", 0)

@@ -28,6 +28,7 @@ from repro.errors import (
     CypherSemanticError,
     CypherSyntaxError,
     DurabilityError,
+    MemoryLimitExceeded,
     PathIndexError,
     PatternSyntaxError,
     PlannerError,
@@ -42,6 +43,7 @@ from repro.errors import (
 )
 from repro.pathindex import PathPattern
 from repro.planner import PlannerHints
+from repro.resources import MemoryPool, MemoryTracker
 from repro.service import (
     CancellationToken,
     MetricsRegistry,
@@ -65,6 +67,9 @@ __all__ = [
     "FaultInjector",
     "GraphDatabase",
     "IndexCreationStats",
+    "MemoryLimitExceeded",
+    "MemoryPool",
+    "MemoryTracker",
     "MetricsRegistry",
     "PathIndexError",
     "PathPattern",

@@ -31,6 +31,7 @@ from repro.pathindex.pattern import PathPattern
 from repro.pathindex.store import PathIndexStore
 from repro.planner import Planner, PlannerHints
 from repro.querygraph import build_query_parts
+from repro.resources import MemoryPool, SpillManager
 from repro.runtime import Executor
 from repro.storage import GraphStore, PageCache
 from repro.storage.graphstore import DEFAULT_DENSE_NODE_THRESHOLD
@@ -38,6 +39,15 @@ from repro.storage.pagecache import DEFAULT_MISS_LATENCY_S, DEFAULT_PAGE_SIZE
 from repro.tx import Transaction, TransactionManager
 
 IndexCreationStats = InitializationStats
+
+
+def _closing(rows, tracker):
+    """Release a query's memory grant/spill files when its lazy result is
+    drained (or closed); runs after the executor's profile merge."""
+    try:
+        yield from rows
+    finally:
+        tracker.close()
 
 
 @dataclass
@@ -63,6 +73,8 @@ class GraphDatabase:
         dense_node_threshold: int = DEFAULT_DENSE_NODE_THRESHOLD,
         maintenance_strategy: str = QUERY_BASED,
         execution_mode: Optional[str] = None,
+        memory_budget: Optional[int] = None,
+        memory_grant: Optional[int] = None,
     ) -> None:
         if execution_mode is None:
             execution_mode = os.environ.get("REPRO_EXECUTION_MODE", "batched")
@@ -90,6 +102,42 @@ class GraphDatabase:
         #: Set by :meth:`open` — the durability engine persisting commits to
         #: a write-ahead log. ``None`` for purely in-memory databases.
         self.durability = None
+        # Resource governance: the process-wide memory budget shared by
+        # every query of this database, and the spill-file manager the
+        # blocking operators write through once a query exceeds its grant.
+        # ``memory_budget=None`` (and no REPRO_MEMORY_BUDGET) means
+        # unbounded: memory is tracked but never denied and never spilled.
+        if memory_budget is None:
+            env = os.environ.get("REPRO_MEMORY_BUDGET")
+            memory_budget = int(env) if env else None
+        if memory_grant is None:
+            env = os.environ.get("REPRO_MEMORY_GRANT")
+            memory_grant = int(env) if env else None
+        self.memory_pool = MemoryPool(memory_budget, memory_grant)
+        self.spill_manager = SpillManager()
+        self._register_cache_gauges()
+
+    def _register_cache_gauges(self) -> None:
+        """Account the long-lived shared caches in the pool snapshot."""
+        self.memory_pool.register_gauge(
+            "plan_cache_bytes", self.plan_cache.approx_bytes
+        )
+        self.memory_pool.register_gauge(
+            "page_cache_bytes",
+            lambda: self.page_cache.resident_pages * self.page_cache.page_size,
+        )
+
+    def set_memory_budget(
+        self, budget_bytes: Optional[int], grant_bytes: Optional[int] = None
+    ) -> MemoryPool:
+        """Swap in a fresh :class:`MemoryPool` (tests, live reconfiguration).
+
+        Queries already holding grants keep them against the old pool;
+        only new queries see the new budget. Returns the new pool.
+        """
+        self.memory_pool = MemoryPool(budget_bytes, grant_bytes)
+        self._register_cache_gauges()
+        return self.memory_pool
 
     # ------------------------------------------------------------------
     # Durability
@@ -131,9 +179,10 @@ class GraphDatabase:
         self.durability.checkpoint()
 
     def close(self) -> None:
-        """Flush and release durability resources (no-op when in-memory)."""
+        """Flush and release durability resources and spill files."""
         if self.durability is not None:
             self.durability.close()
+        self.spill_manager.close()
 
     # ------------------------------------------------------------------
     # Tokens
@@ -239,6 +288,7 @@ class GraphDatabase:
         token: Optional[object] = None,
         prepared: Optional[CachedQuery] = None,
         execution_mode: Optional[str] = None,
+        tracker: Optional[object] = None,
     ) -> Result:
         """Parse, plan and run a Cypher query; returns a timed Result.
 
@@ -251,7 +301,14 @@ class GraphDatabase:
         the service layer uses it so planning is looked up and timed
         exactly once. ``execution_mode`` selects the engine per call
         ("batched", "compiled" or "row"), defaulting to the database-wide
-        :attr:`execution_mode`.
+        :attr:`execution_mode`. ``tracker`` is an optional
+        :class:`~repro.resources.MemoryTracker` whose grant the caller
+        already reserved (the service layer); without one, the query
+        reserves its own grant from :attr:`memory_pool` and releases it
+        when the result is drained. A query whose non-spillable buffers
+        exhaust the pool raises
+        :class:`~repro.errors.MemoryLimitExceeded`; for writes the
+        implicit transaction rolls back first.
         """
         submitted = time.perf_counter()
         mode = execution_mode if execution_mode is not None else self.execution_mode
@@ -262,22 +319,43 @@ class GraphDatabase:
             self.store, self.indexes, cached.analyzed.variable_kinds
         )
         compiled = self._compiled(cached, executor) if mode == "compiled" else None
+        own_tracker = tracker is None
+        if own_tracker:
+            tracker = self.memory_pool.tracker(
+                label="query", spill_manager=self.spill_manager
+            )
         if not cached.analyzed.is_write:
-            rows, profile = executor.execute(
-                cached.planned_parts, token=token, mode=mode, compiled=compiled
-            )
+            try:
+                rows, profile = executor.execute(
+                    cached.planned_parts,
+                    token=token,
+                    mode=mode,
+                    compiled=compiled,
+                    tracker=tracker,
+                )
+            except BaseException:
+                if own_tracker:
+                    tracker.close()
+                raise
+            if own_tracker:
+                rows = _closing(rows, tracker)
             return Result(rows, cached.columns, profile, submitted)
-        with self._write_tx() as (tx, own):
-            rows, profile = executor.execute(
-                cached.planned_parts,
-                transaction=tx,
-                token=token,
-                mode=mode,
-                compiled=compiled,
-            )
-            materialized = list(rows)
-            if own:
-                tx.success()
+        try:
+            with self._write_tx() as (tx, own):
+                rows, profile = executor.execute(
+                    cached.planned_parts,
+                    transaction=tx,
+                    token=token,
+                    mode=mode,
+                    compiled=compiled,
+                    tracker=tracker,
+                )
+                materialized = list(rows)
+                if own:
+                    tx.success()
+        finally:
+            if own_tracker:
+                tracker.close()
         return Result(iter(materialized), cached.columns, profile, submitted)
 
     def _compiled(self, cached: CachedQuery, executor: Executor):
@@ -376,7 +454,20 @@ class GraphDatabase:
                 "create_index", name, str(pattern), partial, populate
             )
         if populate and not partial:
-            return initialize_index(self.store, self.indexes, index, hints)
+            tracker = self.memory_pool.tracker(
+                label=f"index build: {name}", spill_manager=self.spill_manager
+            )
+            try:
+                return initialize_index(
+                    self.store, self.indexes, index, hints, tracker=tracker
+                )
+            except BaseException:
+                # A build that blows the memory budget must not leave a
+                # half-populated index behind (nor a dangling WAL record).
+                self.drop_path_index(name)
+                raise
+            finally:
+                tracker.close()
         return InitializationStats(
             index_name=name,
             cardinality=0,

@@ -29,6 +29,11 @@ from typing import Callable, Optional
 DEFAULT_CAPACITY = 128
 DEFAULT_DRIFT = 0.25
 
+ENTRY_BYTES = 8 * 1024
+"""Deterministic estimate for one cached plan (analyzed query + plan tree +
+possible codegen artifact) — an accounting figure for the memory pool's
+cache gauges, in the same spirit as the runtime's per-row estimates."""
+
 
 @dataclass
 class CachedQuery:
@@ -122,6 +127,12 @@ class PlanCache:
                 self._subscribers.remove(callback)
             except ValueError:
                 pass
+
+    def approx_bytes(self) -> int:
+        """Estimated resident size, reported via the memory pool's cache
+        gauges (never charged to a query)."""
+        with self._lock:
+            return len(self._entries) * ENTRY_BYTES
 
     def clear(self) -> None:
         with self._lock:

@@ -24,6 +24,7 @@ from repro.durability.engine import DurabilityConfig, DurabilityEngine
 from repro.durability.faults import (
     CHECKPOINT_KILL_POINTS,
     KILL_POINTS,
+    SPILL_KILL_POINTS,
     WAL_KILL_POINTS,
     FaultInjector,
     SimulatedCrashError,
@@ -32,6 +33,7 @@ from repro.durability.wal import WriteAheadLog, scan_records
 
 __all__ = [
     "CHECKPOINT_KILL_POINTS",
+    "SPILL_KILL_POINTS",
     "DurabilityConfig",
     "DurabilityEngine",
     "FaultInjector",

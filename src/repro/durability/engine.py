@@ -151,6 +151,8 @@ class DurabilityEngine:
         dense_node_threshold: Optional[int] = None,
         maintenance_strategy: Optional[str] = None,
         execution_mode: Optional[str] = None,
+        memory_budget: Optional[int] = None,
+        memory_grant: Optional[int] = None,
     ) -> "GraphDatabase":
         """Open (creating or recovering) a durable database directory."""
         from repro.db.database import GraphDatabase
@@ -163,6 +165,8 @@ class DurabilityEngine:
         db_kwargs = {
             "page_cache_pages": page_cache_pages,
             "execution_mode": execution_mode,
+            "memory_budget": memory_budget,
+            "memory_grant": memory_grant,
         }
         if miss_latency_s is not None:
             db_kwargs["miss_latency_s"] = miss_latency_s
@@ -191,6 +195,10 @@ class DurabilityEngine:
             db = GraphDatabase(**db_kwargs)
             cls._bootstrap(db, directory, checkpoint_id)
         _clean_orphans(directory, checkpoint_id)
+        # Spill files live beside the WAL so a crash mid-spill is healed by
+        # the same open-time sweep; the injector's spill.* kill-points fire
+        # through the manager.
+        db.spill_manager.attach(directory, injector)
 
         wal_path = directory / _wal_name(checkpoint_id)
         payloads, valid_length = scan_records(wal_path)
@@ -502,14 +510,20 @@ def _switch_current(directory: Path, checkpoint_id: int) -> None:
 
 def _clean_orphans(directory: Path, keep_id: int) -> None:
     """Sweep artifacts of an interrupted checkpoint or bootstrap: anything
-    not referenced by ``CURRENT`` is garbage by construction."""
+    not referenced by ``CURRENT`` is garbage by construction. Spill files
+    are always transient (a query that crashed mid-spill never commits
+    anything that references them), so every ``*.spill`` goes too."""
     keep = {_checkpoint_name(keep_id), _wal_name(keep_id), "CURRENT"}
     for entry in directory.iterdir():
         if entry.name in keep:
             continue
         if entry.name.startswith("checkpoint-"):
             shutil.rmtree(entry, ignore_errors=True)
-        elif entry.name.startswith("wal-") or entry.name == "CURRENT.tmp":
+        elif (
+            entry.name.startswith("wal-")
+            or entry.name == "CURRENT.tmp"
+            or entry.name.endswith(".spill")
+        ):
             try:
                 os.remove(entry)
             except OSError:

@@ -38,7 +38,16 @@ CHECKPOINT_KILL_POINTS = (
 """Kill-points across the checkpoint procedure (snapshot, rename, pointer
 switch, cleanup)."""
 
-KILL_POINTS = WAL_KILL_POINTS + CHECKPOINT_KILL_POINTS
+SPILL_KILL_POINTS = (
+    "spill.open",
+    "spill.write",
+    "spill.merge",
+)
+"""Kill-points on the resource-governance spill path (run-file creation,
+run-file write, k-way merge). A crash here leaves orphaned ``*.spill``
+files that recovery must sweep."""
+
+KILL_POINTS = WAL_KILL_POINTS + CHECKPOINT_KILL_POINTS + SPILL_KILL_POINTS
 """Every named kill-point, in commit-then-checkpoint order."""
 
 

@@ -55,6 +55,26 @@ class PatternSyntaxError(PathIndexError):
     """A path pattern string could not be parsed."""
 
 
+class MemoryLimitExceeded(ReproError):
+    """The process-wide memory pool could not satisfy a query's allocation.
+
+    Raised when a query's memory charges exceed its grant *and* the pool has
+    no free headroom left (spillable operators spill instead of raising; this
+    error means even the non-spillable residue does not fit). The query that
+    raises rolls back cleanly; other queries sharing the pool keep running.
+    """
+
+    def __init__(
+        self,
+        message: str = "memory limit exceeded",
+        requested_bytes: int = 0,
+        budget_bytes: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.requested_bytes = requested_bytes
+        self.budget_bytes = budget_bytes
+
+
 class ServiceError(ReproError):
     """The concurrent query service was used incorrectly or is unavailable."""
 

@@ -18,6 +18,7 @@ from repro.db.patternquery import run_pattern_query
 from repro.pathindex.index import PathIndex
 from repro.pathindex.store import PathIndexStore
 from repro.planner import PlannerHints
+from repro.resources import KEY_BYTES, NULL_TRACKER
 from repro.storage.graphstore import GraphStore
 
 
@@ -37,12 +38,24 @@ def initialize_index(
     index_store: PathIndexStore,
     index: PathIndex,
     hints: Optional[PlannerHints] = None,
+    tracker=None,
 ) -> InitializationStats:
-    """Populate ``index`` by querying its pattern (Algorithm 2)."""
+    """Populate ``index`` by querying its pattern (Algorithm 2).
+
+    ``tracker`` (a :class:`repro.resources.MemoryTracker`) accounts the
+    transient build cost against the memory pool: one :data:`KEY_BYTES`
+    charge per entry. Entries land in the index itself, so the build cannot
+    spill — exhausting the pool fails the build fast with
+    ``MemoryLimitExceeded``, and the caller rolls the half-built index
+    back. The caller owns (and closes) the tracker.
+    """
+    tracker = tracker if tracker is not None else NULL_TRACKER
     hints = (hints or PlannerHints()).forbidding(index.name)
     started = time.perf_counter()
     entries, _ = run_pattern_query(store, index_store, index.pattern, hints=hints)
+    label = f"index build: {index.name}"
     for entry in entries:
+        tracker.charge(label, KEY_BYTES)
         index.add(entry)
     elapsed = time.perf_counter() - started
     return InitializationStats(

@@ -35,6 +35,21 @@ per-row ``check`` only consults the deadline clock every
 ``DEADLINE_STRIDE`` calls, which per-morsel checking would stretch to
 tens of thousands of rows; ``check_batch`` always reads the clock, so
 morsel size bounds the deadline-abort latency.
+
+Two cross-cutting concerns are compiled in per subtree:
+
+* **Memory accounting** — blocking operators buffer through the shared
+  spill-aware structures in :mod:`repro.resources.spill`, charging the
+  query's :class:`~repro.resources.pool.MemoryTracker` (reached via
+  ``ctx.mem()``) with the same deterministic per-row estimates as the
+  row engine, so both engines spill at identical input cardinalities
+  and differential tests stay exact under any budget.
+* **Demand-driven LIMIT** — ``_limit`` compiles its streaming child
+  subtree with a morsel size of one, so upstream operators produce (and
+  profile) exactly as many rows as the row engine's lazy pull would,
+  instead of overfilling the final morsel. Blocking operators reset
+  their fully-consumed children back to ``ctx.morsel_size`` since
+  laziness cannot propagate through a full materialization.
 """
 
 from __future__ import annotations
@@ -77,6 +92,15 @@ from repro.runtime.operators import (
     _resolve_type_ids,
     _skip_target,
     _sort_key,
+)
+from repro.resources import (
+    ROW_BYTES,
+    AggregationSpillBuffer,
+    AppendSpillBuffer,
+    Desc,
+    DistinctSpillBuffer,
+    JoinSpillBuffer,
+    SortSpillBuffer,
 )
 from repro.runtime.row import Row
 
@@ -142,15 +166,24 @@ class SlotLayout:
 
 
 def compile_batched_plan(
-    plan: LogicalPlan, ctx: RuntimeContext, layout: SlotLayout
+    plan: LogicalPlan,
+    ctx: RuntimeContext,
+    layout: SlotLayout,
+    morsel_size: Optional[int] = None,
 ) -> BatchRunFn:
     """Compile ``plan`` into a batched pipeline with per-morsel profiling.
 
     The cancellation token (when present) is checked once per morsel via
     ``check_batch`` (fall back to ``check`` for token-like objects without
     it), so morsel size bounds abort latency instead of row count.
+
+    ``morsel_size`` overrides the output batch size for this subtree
+    (``None`` means ``ctx.morsel_size``); LIMIT uses it to compile its
+    child demand-driven.
     """
-    run = _compile(plan, ctx, layout)
+    if morsel_size is None:
+        morsel_size = ctx.morsel_size
+    run = _compile(plan, ctx, layout, morsel_size)
     profile = ctx.profile
     record = profile.record
     token = ctx.token
@@ -175,39 +208,41 @@ def compile_batched_plan(
     return counted
 
 
-def _compile(plan: LogicalPlan, ctx: RuntimeContext, layout: SlotLayout) -> BatchRunFn:
+def _compile(
+    plan: LogicalPlan, ctx: RuntimeContext, layout: SlotLayout, morsel_size: int
+) -> BatchRunFn:
     if isinstance(plan, PlanArgument):
         return _argument(plan, ctx, layout)
     if isinstance(plan, PlanAllNodesScan):
-        return _all_nodes_scan(plan, ctx, layout)
+        return _all_nodes_scan(plan, ctx, layout, morsel_size)
     if isinstance(plan, PlanNodeByLabelScan):
-        return _node_by_label_scan(plan, ctx, layout)
+        return _node_by_label_scan(plan, ctx, layout, morsel_size)
     if isinstance(plan, PlanRelationshipByTypeScan):
-        return _relationship_by_type_scan(plan, ctx, layout)
+        return _relationship_by_type_scan(plan, ctx, layout, morsel_size)
     if isinstance(plan, PlanExpand):
-        return _expand(plan, ctx, layout)
+        return _expand(plan, ctx, layout, morsel_size)
     if isinstance(plan, PlanNodeHashJoin):
-        return _node_hash_join(plan, ctx, layout)
+        return _node_hash_join(plan, ctx, layout, morsel_size)
     if isinstance(plan, PlanCartesianProduct):
-        return _cartesian_product(plan, ctx, layout)
+        return _cartesian_product(plan, ctx, layout, morsel_size)
     if isinstance(plan, PlanFilter):
-        return _filter(plan, ctx, layout)
+        return _filter(plan, ctx, layout, morsel_size)
     if isinstance(plan, PlanPathIndexScan):
-        return _path_index_scan(plan, ctx, layout)
+        return _path_index_scan(plan, ctx, layout, morsel_size)
     if isinstance(plan, PlanPathIndexFilteredScan):
-        return _path_index_filtered_scan(plan, ctx, layout)
+        return _path_index_filtered_scan(plan, ctx, layout, morsel_size)
     if isinstance(plan, PlanPathIndexPrefixSeek):
-        return _path_index_prefix_seek(plan, ctx, layout)
+        return _path_index_prefix_seek(plan, ctx, layout, morsel_size)
     if isinstance(plan, PlanProjection):
-        return _projection(plan, ctx, layout)
+        return _projection(plan, ctx, layout, morsel_size)
     if isinstance(plan, PlanAggregation):
-        return _aggregation(plan, ctx, layout)
+        return _aggregation(plan, ctx, layout, morsel_size)
     if isinstance(plan, PlanDistinct):
-        return _distinct(plan, ctx, layout)
+        return _distinct(plan, ctx, layout, morsel_size)
     if isinstance(plan, PlanSort):
-        return _sort(plan, ctx, layout)
+        return _sort(plan, ctx, layout, morsel_size)
     if isinstance(plan, PlanLimit):
-        return _limit(plan, ctx, layout)
+        return _limit(plan, ctx, layout, morsel_size)
     raise ReproError(f"no batched operator for {type(plan).__name__}")
 
 
@@ -227,11 +262,10 @@ def _argument(plan: PlanArgument, ctx: RuntimeContext, layout: SlotLayout) -> Ba
 
 
 def _all_nodes_scan(
-    plan: PlanAllNodesScan, ctx: RuntimeContext, layout: SlotLayout
+    plan: PlanAllNodesScan, ctx: RuntimeContext, layout: SlotLayout, morsel_size: int
 ) -> BatchRunFn:
     slot = layout.slot_of(plan.node)
     store = ctx.store
-    morsel_size = ctx.morsel_size
 
     def run(arg: list) -> Iterator[list]:
         bound = arg[slot]
@@ -254,13 +288,12 @@ def _all_nodes_scan(
 
 
 def _node_by_label_scan(
-    plan: PlanNodeByLabelScan, ctx: RuntimeContext, layout: SlotLayout
+    plan: PlanNodeByLabelScan, ctx: RuntimeContext, layout: SlotLayout, morsel_size: int
 ) -> BatchRunFn:
     slot = layout.slot_of(plan.node)
     store = ctx.store
     post = [label_id for _, label_id in _label_ids(ctx, plan.post_labels)]
     label_id_static = store.labels.id_of(plan.label)
-    morsel_size = ctx.morsel_size
 
     def run(arg: list) -> Iterator[list]:
         label_id = (
@@ -292,7 +325,10 @@ def _node_by_label_scan(
 
 
 def _relationship_by_type_scan(
-    plan: PlanRelationshipByTypeScan, ctx: RuntimeContext, layout: SlotLayout
+    plan: PlanRelationshipByTypeScan,
+    ctx: RuntimeContext,
+    layout: SlotLayout,
+    morsel_size: int,
 ) -> BatchRunFn:
     if ctx.index_store is None:
         raise ReproError("RelationshipByTypeScan requires a path index store")
@@ -306,7 +342,6 @@ def _relationship_by_type_scan(
     ]
     store = ctx.store
     directed = plan.directed
-    morsel_size = ctx.morsel_size
 
     def run(arg: list) -> Iterator[list]:
         width = len(arg) - 1
@@ -365,8 +400,10 @@ def _relationship_by_type_scan(
 # ---------------------------------------------------------------------------
 
 
-def _expand(plan: PlanExpand, ctx: RuntimeContext, layout: SlotLayout) -> BatchRunFn:
-    child = compile_batched_plan(plan.children[0], ctx, layout)
+def _expand(
+    plan: PlanExpand, ctx: RuntimeContext, layout: SlotLayout, morsel_size: int
+) -> BatchRunFn:
+    child = compile_batched_plan(plan.children[0], ctx, layout, morsel_size)
     from_slot = layout.slot_of(plan.from_node)
     rel_slot = layout.slot_of(plan.rel)
     to_slot = layout.slot_of(plan.to_node)
@@ -375,7 +412,6 @@ def _expand(plan: PlanExpand, ctx: RuntimeContext, layout: SlotLayout) -> BatchR
     direction = plan.direction
     into = plan.into
     expand = ctx.store.expand
-    morsel_size = ctx.morsel_size
 
     def run(arg: list) -> Iterator[list]:
         type_ids: Optional[set[int]] = None
@@ -466,34 +502,44 @@ def _merge_rows(
 
 
 def _node_hash_join(
-    plan: PlanNodeHashJoin, ctx: RuntimeContext, layout: SlotLayout
+    plan: PlanNodeHashJoin, ctx: RuntimeContext, layout: SlotLayout, morsel_size: int
 ) -> BatchRunFn:
-    left = compile_batched_plan(plan.children[0], ctx, layout)
-    right = compile_batched_plan(plan.children[1], ctx, layout)
+    # The build side is fully consumed regardless of downstream demand,
+    # so it always runs at the context morsel size; the probe side
+    # streams and inherits the (possibly LIMIT-reduced) subtree size.
+    left = compile_batched_plan(plan.children[0], ctx, layout, ctx.morsel_size)
+    right = compile_batched_plan(plan.children[1], ctx, layout, morsel_size)
     join_slots = [layout.slot_of(var) for var in plan.join_nodes]
-    morsel_size = ctx.morsel_size
 
     def run(arg: list) -> Iterator[list]:
         width = len(arg) - 1
-        table: dict[tuple, list] = {}
+        shared = frozenset(arg[width])
+
+        def merge(partner: list, row: list) -> Optional[list]:
+            return _merge_rows(partner, row, shared, width)
+
+        buffer = JoinSpillBuffer(ctx.mem(), plan, merge)
         for morsel in left(arg):
             for row in morsel:
                 key = tuple(row[slot] for slot in join_slots)
-                table.setdefault(key, []).append(row)
-        shared = frozenset(arg[width])
+                buffer.insert(key, row)
         out: list = []
         append = out.append
         for morsel in right(arg):
             for row in morsel:
                 key = tuple(row[slot] for slot in join_slots)
-                for partner in table.get(key, ()):
-                    merged = _merge_rows(partner, row, shared, width)
-                    if merged is not None:
-                        append(merged)
-                        if len(out) >= morsel_size:
-                            yield out
-                            out = []
-                            append = out.append
+                for merged in buffer.probe(key, row):
+                    append(merged)
+                    if len(out) >= morsel_size:
+                        yield out
+                        out = []
+                        append = out.append
+        for merged in buffer.drain():
+            append(merged)
+            if len(out) >= morsel_size:
+                yield out
+                out = []
+                append = out.append
         if out:
             yield out
 
@@ -501,24 +547,26 @@ def _node_hash_join(
 
 
 def _cartesian_product(
-    plan: PlanCartesianProduct, ctx: RuntimeContext, layout: SlotLayout
+    plan: PlanCartesianProduct, ctx: RuntimeContext, layout: SlotLayout, morsel_size: int
 ) -> BatchRunFn:
-    left = compile_batched_plan(plan.children[0], ctx, layout)
-    right = compile_batched_plan(plan.children[1], ctx, layout)
-    morsel_size = ctx.morsel_size
+    # The right side is materialized wholesale on the first left row, so
+    # it always runs at the context morsel size; the left side streams.
+    left = compile_batched_plan(plan.children[0], ctx, layout, morsel_size)
+    right = compile_batched_plan(plan.children[1], ctx, layout, ctx.morsel_size)
 
     def run(arg: list) -> Iterator[list]:
         width = len(arg) - 1
-        right_rows: Optional[list] = None
+        right_rows: Optional[AppendSpillBuffer] = None
         shared = frozenset(arg[width])
         out: list = []
         append = out.append
         for morsel in left(arg):
             for left_row in morsel:
                 if right_rows is None:
-                    right_rows = [
-                        row for right_morsel in right(arg) for row in right_morsel
-                    ]
+                    right_rows = AppendSpillBuffer(ctx.mem(), plan)
+                    for right_morsel in right(arg):
+                        for row in right_morsel:
+                            right_rows.add(row)
                 for right_row in right_rows:
                     merged = _merge_rows(left_row, right_row, shared, width)
                     if merged is not None:
@@ -533,8 +581,10 @@ def _cartesian_product(
     return run
 
 
-def _filter(plan: PlanFilter, ctx: RuntimeContext, layout: SlotLayout) -> BatchRunFn:
-    child = compile_batched_plan(plan.children[0], ctx, layout)
+def _filter(
+    plan: PlanFilter, ctx: RuntimeContext, layout: SlotLayout, morsel_size: int
+) -> BatchRunFn:
+    child = compile_batched_plan(plan.children[0], ctx, layout, morsel_size)
     predicates = [
         compile_predicate(predicate, layout.slot_of, ctx.eval_ctx)
         for predicate in plan.predicates
@@ -621,13 +671,12 @@ def _slot_entry_binder(
 
 
 def _path_index_scan(
-    plan: PlanPathIndexScan, ctx: RuntimeContext, layout: SlotLayout
+    plan: PlanPathIndexScan, ctx: RuntimeContext, layout: SlotLayout, morsel_size: int
 ) -> BatchRunFn:
     if ctx.index_store is None:
         raise ReproError("PathIndexScan requires a path index store")
     index = ctx.index_store.get(plan.index_name)
     bind = _slot_entry_binder(plan, ctx, layout)
-    morsel_size = ctx.morsel_size
 
     def run(arg: list) -> Iterator[list]:
         out: list = []
@@ -647,7 +696,10 @@ def _path_index_scan(
 
 
 def _path_index_filtered_scan(
-    plan: PlanPathIndexFilteredScan, ctx: RuntimeContext, layout: SlotLayout
+    plan: PlanPathIndexFilteredScan,
+    ctx: RuntimeContext,
+    layout: SlotLayout,
+    morsel_size: int,
 ) -> BatchRunFn:
     if ctx.index_store is None:
         raise ReproError("PathIndexFilteredScan requires a path index store")
@@ -659,7 +711,6 @@ def _path_index_filtered_scan(
         compile_predicate(predicate, layout.slot_of, ctx.eval_ctx)
         for predicate in residual
     ]
-    morsel_size = ctx.morsel_size
 
     def run(arg: list) -> Iterator[list]:
         out: list = []
@@ -691,27 +742,35 @@ def _path_index_filtered_scan(
 
 
 def _path_index_prefix_seek(
-    plan: PlanPathIndexPrefixSeek, ctx: RuntimeContext, layout: SlotLayout
+    plan: PlanPathIndexPrefixSeek,
+    ctx: RuntimeContext,
+    layout: SlotLayout,
+    morsel_size: int,
 ) -> BatchRunFn:
     if ctx.index_store is None:
         raise ReproError("PathIndexPrefixSeek requires a path index store")
     index = ctx.index_store.get(plan.index_name)
-    child = compile_batched_plan(plan.children[0], ctx, layout)
+    # The child is fully materialized into prefix groups, so it always
+    # runs at the context morsel size.
+    child = compile_batched_plan(plan.children[0], ctx, layout, ctx.morsel_size)
     prefix_slots = [
         layout.slot_of(var) for var in plan.entry_vars[: plan.prefix_length]
     ]
     bind = _slot_entry_binder(plan, ctx, layout, skip_positions=plan.prefix_length)
     store = ctx.store
-    morsel_size = ctx.morsel_size
 
     def run(arg: list) -> Iterator[list]:
         # Take in all child results, group them by their prefix, then seek
-        # the index once per distinct prefix (§5.1.3).
+        # the index once per distinct prefix (§5.1.3). The grouped rows are
+        # accessed randomly per prefix, so they cannot spill; charge them
+        # against the tracker (released wholesale at tracker close).
+        mem = ctx.mem()
         groups: dict[tuple[int, ...], list] = {}
         for morsel in child(arg):
             for row in morsel:
                 prefix = tuple(int(row[slot]) for slot in prefix_slots)
                 groups.setdefault(prefix, []).append(row)
+                mem.charge(plan, ROW_BYTES)
         out: list = []
         append = out.append
         for prefix, rows in groups.items():
@@ -738,9 +797,9 @@ def _path_index_prefix_seek(
 
 
 def _projection(
-    plan: PlanProjection, ctx: RuntimeContext, layout: SlotLayout
+    plan: PlanProjection, ctx: RuntimeContext, layout: SlotLayout, morsel_size: int
 ) -> BatchRunFn:
-    child = compile_batched_plan(plan.children[0], ctx, layout)
+    child = compile_batched_plan(plan.children[0], ctx, layout, morsel_size)
     items = [
         (
             layout.slot_of(item.output_name),
@@ -765,9 +824,10 @@ def _projection(
 
 
 def _aggregation(
-    plan: PlanAggregation, ctx: RuntimeContext, layout: SlotLayout
+    plan: PlanAggregation, ctx: RuntimeContext, layout: SlotLayout, morsel_size: int
 ) -> BatchRunFn:
-    child = compile_batched_plan(plan.children[0], ctx, layout)
+    # Aggregation consumes its entire child regardless of demand.
+    child = compile_batched_plan(plan.children[0], ctx, layout, ctx.morsel_size)
     grouping = [
         (
             item.output_name,
@@ -789,7 +849,6 @@ def _aggregation(
         ]
         aggregates.append((item, layout.slot_of(item.output_name), compiled_calls))
     eval_ctx = ctx.eval_ctx
-    morsel_size = ctx.morsel_size
 
     def make_accumulators():
         return [
@@ -797,29 +856,32 @@ def _aggregation(
             for _, _, compiled_calls in aggregates
         ]
 
+    def new_state(row: list) -> tuple[list, list]:
+        return ([(name, fn(row)) for name, _, fn in grouping], make_accumulators())
+
+    def feed(state: tuple[list, list], row: list) -> None:
+        for item_accumulators in state[1]:
+            for accumulator, arg_fn in item_accumulators:
+                if arg_fn is None:  # count(*)
+                    accumulator.count += 1
+                else:
+                    accumulator.feed_value(arg_fn(row))
+
     def run(arg: list) -> Iterator[list]:
         width = layout.width
-        groups: dict[tuple, tuple[list, list]] = {}
+        buffer = AggregationSpillBuffer(ctx.mem(), plan, new_state, feed)
         for morsel in child(arg):
             for row in morsel:
-                key_values = [(name, fn(row)) for name, _, fn in grouping]
-                key = tuple(_hashable(value) for _, value in key_values)
-                state = groups.get(key)
-                if state is None:
-                    state = (key_values, make_accumulators())
-                    groups[key] = state
-                for item_accumulators in state[1]:
-                    for accumulator, arg_fn in item_accumulators:
-                        if arg_fn is None:  # count(*)
-                            accumulator.count += 1
-                        else:
-                            accumulator.feed_value(arg_fn(row))
-        if not groups and not grouping:
+                key = tuple(_hashable(fn(row)) for _, _, fn in grouping)
+                buffer.add(key, row)
+        if buffer.is_empty and not grouping:
             # Global aggregation over zero rows still yields one row.
-            groups[()] = ([], make_accumulators())
+            states: list = [([], make_accumulators())]
+        else:
+            states = buffer.states()
         out: list = []
         append = out.append
-        for key_values, accumulator_lists in groups.values():
+        for key_values, accumulator_lists in states:
             values = dict(key_values)
             for (item, _, _), item_accumulators in zip(aggregates, accumulator_lists):
                 results = {
@@ -846,49 +908,84 @@ def _aggregation(
     return run
 
 
-def _distinct(plan: PlanDistinct, ctx: RuntimeContext, layout: SlotLayout) -> BatchRunFn:
-    child = compile_batched_plan(plan.children[0], ctx, layout)
+def _distinct(
+    plan: PlanDistinct, ctx: RuntimeContext, layout: SlotLayout, morsel_size: int
+) -> BatchRunFn:
+    child = compile_batched_plan(plan.children[0], ctx, layout, morsel_size)
     slots = [layout.slot_of(column) for column in plan.columns]
 
     def run(arg: list) -> Iterator[list]:
-        seen: set = set()
-        add = seen.add
+        buffer = DistinctSpillBuffer(ctx.mem(), plan)
+        out: list = []
+        append = out.append
         for morsel in child(arg):
-            out = []
             for row in morsel:
                 key = tuple(_hashable(row[slot]) for slot in slots)
-                if key not in seen:
-                    add(key)
-                    out.append(row)
-            if out:
+                if buffer.offer(key, row):
+                    append(row)
+                    if len(out) >= morsel_size:
+                        yield out
+                        out = []
+                        append = out.append
+        for row in buffer.drain():
+            append(row)
+            if len(out) >= morsel_size:
                 yield out
+                out = []
+                append = out.append
+        if out:
+            yield out
 
     return run
 
 
-def _sort(plan: PlanSort, ctx: RuntimeContext, layout: SlotLayout) -> BatchRunFn:
-    child = compile_batched_plan(plan.children[0], ctx, layout)
+def _sort(
+    plan: PlanSort, ctx: RuntimeContext, layout: SlotLayout, morsel_size: int
+) -> BatchRunFn:
+    # Sort consumes its entire child regardless of demand.
+    child = compile_batched_plan(plan.children[0], ctx, layout, ctx.morsel_size)
     keys = [
         (compile_expression(expression, layout.slot_of, ctx.eval_ctx), ascending)
         for expression, ascending in plan.order_by
     ]
-    morsel_size = ctx.morsel_size
+
+    def composed_key(row: list) -> tuple:
+        # A single stable sort on this composed key is equivalent to the
+        # historical chain of per-level stable sorts (descending levels
+        # invert comparisons via Desc), and it also orders spilled runs.
+        return tuple(
+            _sort_key(fn(row)) if ascending else Desc(_sort_key(fn(row)))
+            for fn, ascending in keys
+        )
 
     def run(arg: list) -> Iterator[list]:
-        rows = [row for morsel in child(arg) for row in morsel]
-        for fn, ascending in reversed(keys):
-            rows.sort(
-                key=lambda row, fn=fn: _sort_key(fn(row)),
-                reverse=not ascending,
-            )
-        for start in range(0, len(rows), morsel_size):
-            yield rows[start : start + morsel_size]
+        buffer = SortSpillBuffer(ctx.mem(), plan, composed_key)
+        for morsel in child(arg):
+            for row in morsel:
+                buffer.add(row)
+        out: list = []
+        append = out.append
+        for row in buffer:
+            append(row)
+            if len(out) >= morsel_size:
+                yield out
+                out = []
+                append = out.append
+        if out:
+            yield out
 
     return run
 
 
-def _limit(plan: PlanLimit, ctx: RuntimeContext, layout: SlotLayout) -> BatchRunFn:
-    child = compile_batched_plan(plan.children[0], ctx, layout)
+def _limit(
+    plan: PlanLimit, ctx: RuntimeContext, layout: SlotLayout, morsel_size: int
+) -> BatchRunFn:
+    # Compile the child subtree demand-driven (morsels of one) so that
+    # upstream operators produce — and profile — exactly the rows the
+    # row engine's lazy pull would, instead of overfilling the final
+    # morsel past the limit. Blocking operators below reset their own
+    # children back to ctx.morsel_size.
+    child = compile_batched_plan(plan.children[0], ctx, layout, 1)
     skip = plan.skip
     limit = plan.limit
 

@@ -19,7 +19,13 @@ The generated function preserves the batched engine's observable contract:
   :data:`CHECK_STRIDE` operator outputs — the fused counterpart of the
   batched engine's per-morsel ``check_batch``),
 * relationship-uniqueness semantics, binder/filter ordering, and the
-  morsel-sized output chunking of the batched engine.
+  morsel-sized output chunking of the batched engine,
+* per-query memory accounting: the optional ``_mem`` argument is the
+  query's :class:`~repro.resources.pool.MemoryTracker`, and every
+  pipeline breaker buffers through the same spill-aware structures
+  (:mod:`repro.resources.spill`) as the other engines, with identical
+  per-row cost estimates — so all three engines spill at the same input
+  cardinalities and remain row-identical under any budget.
 
 Codegen is a produce/consume recursion (Neumann-style): ``produce(plan)``
 emits the loops that generate rows and invokes the parent's ``consume``
@@ -45,6 +51,16 @@ from typing import Callable, Iterable, Optional
 
 from repro.cypher import ast
 from repro.errors import ReproError
+from repro.resources import (
+    NULL_TRACKER,
+    ROW_BYTES,
+    AggregationSpillBuffer,
+    AppendSpillBuffer,
+    Desc,
+    DistinctSpillBuffer,
+    JoinSpillBuffer,
+    SortSpillBuffer,
+)
 from repro.planner.plans import (
     LogicalPlan,
     PlanAggregation,
@@ -573,34 +589,51 @@ def _p_expand(comp: PartCompiler, plan: PlanExpand, consume) -> None:
 
 
 def _p_node_hash_join(comp: PartCompiler, plan: PlanNodeHashJoin, consume) -> None:
-    table = comp.fresh("tb")
-    comp.emit(f"{table} = {{}}")
+    # The build table lives in a spill-aware buffer; the engine-specific
+    # merge (binding conflicts, relationship uniqueness) closes over the
+    # run-time uniqueness scope and row width.
+    make_buffer = comp.add_env(
+        "mkjoin",
+        lambda mem, shared, width, plan=plan: JoinSpillBuffer(
+            mem,
+            plan,
+            lambda build_row, probe_row: _merge_rows(
+                build_row, probe_row, shared, width
+            ),
+        ),
+    )
+    shared = comp.fresh("sh")
+    comp.emit(f"{shared} = frozenset(_R0)")
+    buffer = comp.fresh("jb")
+    comp.emit(f"{buffer} = {make_buffer}(_mem, {shared}, _W)")
 
     def build(scope: _Scope) -> None:
         key = _key_tuple(comp, scope, plan.join_nodes)
         row = comp.materialize(scope)
-        comp.emit(f"{table}.setdefault({key}, []).append({row})")
+        comp.emit(f"{buffer}.insert({key}, {row})")
 
     comp.produce(plan.children[0], build)
-    shared = comp.fresh("sh")
-    comp.emit(f"{shared} = frozenset(_R0)")
-    merge = comp.add_env("merge", _merge_rows)
+
+    def emit_consume_merged(merged: str) -> None:
+        comp.tick()
+        comp.count_and_check(plan)
+        consume(comp.row_scope(merged))
 
     def probe(scope: _Scope) -> None:
         key = _key_tuple(comp, scope, plan.join_nodes)
         row = comp.materialize(scope)
-        partner, merged = comp.fresh("pt"), comp.fresh("mg")
-        comp.emit(f"for {partner} in {table}.get({key}, ()):")
+        merged = comp.fresh("mg")
+        comp.emit(f"for {merged} in {buffer}.probe({key}, {row}):")
         with comp.block():
-            comp.tick()
-            comp.emit(f"{merged} = {merge}({partner}, {row}, {shared}, _W)")
-            comp.emit(f"if {merged} is None:")
-            with comp.block():
-                comp.emit("continue")
-            comp.count_and_check(plan)
-            consume(comp.row_scope(merged))
+            emit_consume_merged(merged)
 
     comp.produce(plan.children[1], probe)
+    # Spill-mode matches staged during the probe come back here, in exact
+    # probe order (empty when nothing spilled).
+    merged = comp.fresh("mg")
+    comp.emit(f"for {merged} in {buffer}.drain():")
+    with comp.block():
+        emit_consume_merged(merged)
 
 
 def _key_tuple(comp: PartCompiler, scope: _Scope, names) -> str:
@@ -611,6 +644,9 @@ def _key_tuple(comp: PartCompiler, scope: _Scope, names) -> str:
 def _p_cartesian_product(
     comp: PartCompiler, plan: PlanCartesianProduct, consume
 ) -> None:
+    make_buffer = comp.add_env(
+        "mkrows", lambda mem, plan=plan: AppendSpillBuffer(mem, plan)
+    )
     right_rows = comp.fresh("rr")
     comp.emit(f"{right_rows} = None")
     shared = comp.fresh("sh")
@@ -621,9 +657,9 @@ def _p_cartesian_product(
         left_row = comp.materialize(scope)
         comp.emit(f"if {right_rows} is None:")
         with comp.block():
-            comp.emit(f"{right_rows} = []")
+            comp.emit(f"{right_rows} = {make_buffer}(_mem)")
             append = comp.fresh("ra")
-            comp.emit(f"{append} = {right_rows}.append")
+            comp.emit(f"{append} = {right_rows}.add")
 
             def right_consume(right_scope: _Scope) -> None:
                 comp.emit(f"{append}({comp.materialize(right_scope)})")
@@ -747,6 +783,7 @@ def _p_path_index_prefix_seek(
         ),
     )
     prefix_vars = plan.entry_vars[: plan.prefix_length]
+    plan_env = comp.add_env("pl", plan)
     groups = comp.fresh("gr")
     comp.emit(f"{groups} = {{}}")
 
@@ -757,6 +794,10 @@ def _p_path_index_prefix_seek(
         key = f"({parts},)" if len(prefix_vars) == 1 else f"({parts})"
         row = comp.materialize(scope)
         comp.emit(f"{groups}.setdefault({key}, []).append({row})")
+        # The grouped rows are accessed randomly per prefix, so they
+        # cannot spill; charge them against the tracker (released
+        # wholesale at tracker close).
+        comp.emit(f"_mem.charge({plan_env}, {ROW_BYTES})")
 
     comp.produce(plan.children[0], collect)
     prefix, rows = comp.fresh("pk"), comp.fresh("rs")
@@ -844,12 +885,26 @@ def _p_aggregation(comp: PartCompiler, plan: PlanAggregation, consume) -> None:
             out.append(value)
         return out
 
+    # Spilled items must carry everything the fold needs, because the
+    # generated code cannot re-evaluate expressions against a spilled
+    # row: each item is (key_values, fed_values), both plain tuples.
+    def new_state(item: tuple) -> tuple:
+        return (item[0], make_accumulators())
+
+    def feed_item(state: tuple, item: tuple) -> None:
+        feed(state[1], item[1])
+
+    make_buffer = comp.add_env(
+        "mkagg",
+        lambda mem, plan=plan: AggregationSpillBuffer(
+            mem, plan, new_state, feed_item
+        ),
+    )
     make_env = comp.add_env("mkacc", make_accumulators)
-    feed_env = comp.add_env("feed", feed)
     finish_env = comp.add_env("fin", finish)
     hashable = comp.add_env("hash", _hashable)
-    groups = comp.fresh("gr")
-    comp.emit(f"{groups} = {{}}")
+    buffer = comp.fresh("gr")
+    comp.emit(f"{buffer} = {make_buffer}(_mem)")
 
     def consume_child(scope: _Scope) -> None:
         key_locals = []
@@ -860,34 +915,32 @@ def _p_aggregation(comp: PartCompiler, plan: PlanAggregation, consume) -> None:
         hashed = ", ".join(f"{hashable}({local})" for local in key_locals)
         if len(key_locals) == 1:
             hashed += ","
-        key, state = comp.fresh("gk"), comp.fresh("gs")
-        comp.emit(f"{key} = ({hashed})")
-        comp.emit(f"{state} = {groups}.get({key})")
-        comp.emit(f"if {state} is None:")
-        with comp.block():
-            values = ", ".join(key_locals)
-            if len(key_locals) == 1:
-                values += ","
-            comp.emit(f"{state} = (({values}), {make_env}())")
-            comp.emit(f"{groups}[{key}] = {state}")
-        if flat_calls:
-            fed = []
-            for call in flat_calls:
-                if call.star:
-                    fed.append("None")
-                else:
-                    fed.append(comp.expr_code(call.argument, scope))
-            tuple_code = ", ".join(fed) + ("," if len(fed) == 1 else "")
-            comp.emit(f"{feed_env}({state}[1], ({tuple_code}))")
+        values = ", ".join(key_locals)
+        if len(key_locals) == 1:
+            values += ","
+        fed = []
+        for call in flat_calls:
+            if call.star:
+                fed.append("None")
+            else:
+                fed.append(comp.expr_code(call.argument, scope))
+        tuple_code = ", ".join(fed) + ("," if len(fed) == 1 else "")
+        comp.emit(f"{buffer}.add(({hashed}), (({values}), ({tuple_code})))")
 
     comp.produce(plan.children[0], consume_child)
-    if not grouping_names:
+    states = comp.fresh("gl")
+    if grouping_names:
+        comp.emit(f"{states} = {buffer}.states()")
+    else:
         # Global aggregation over zero rows still yields one row.
-        comp.emit(f"if not {groups}:")
+        comp.emit(f"if {buffer}.is_empty:")
         with comp.block():
-            comp.emit(f"{groups}[()] = ((), {make_env}())")
+            comp.emit(f"{states} = (((), {make_env}()),)")
+        comp.emit("else:")
+        with comp.block():
+            comp.emit(f"{states} = {buffer}.states()")
     state, finished = comp.fresh("gs"), comp.fresh("fv")
-    comp.emit(f"for {state} in {groups}.values():")
+    comp.emit(f"for {state} in {states}:")
     with comp.block():
         comp.tick()
         comp.emit(f"{finished} = {finish_env}({state}[0], {state}[1])")
@@ -903,8 +956,11 @@ def _p_aggregation(comp: PartCompiler, plan: PlanAggregation, consume) -> None:
 
 def _p_distinct(comp: PartCompiler, plan: PlanDistinct, consume) -> None:
     hashable = comp.add_env("hash", _hashable)
-    seen = comp.fresh("sn")
-    comp.emit(f"{seen} = set()")
+    make_buffer = comp.add_env(
+        "mkdist", lambda mem, plan=plan: DistinctSpillBuffer(mem, plan)
+    )
+    buffer = comp.fresh("db")
+    comp.emit(f"{buffer} = {make_buffer}(_mem)")
 
     def consume_child(scope: _Scope) -> None:
         hashed = ", ".join(
@@ -912,16 +968,23 @@ def _p_distinct(comp: PartCompiler, plan: PlanDistinct, consume) -> None:
         )
         if len(plan.columns) == 1:
             hashed += ","
-        key = comp.fresh("dk")
-        comp.emit(f"{key} = ({hashed})")
-        comp.emit(f"if {key} in {seen}:")
+        # The offered item must be a full row: post-freeze first
+        # occurrences are deferred to disk and replayed by drain below.
+        row = comp.materialize(scope)
+        comp.emit(f"if not {buffer}.offer(({hashed}), {row}):")
         with comp.block():
             comp.emit("continue")
-        comp.emit(f"{seen}.add({key})")
         comp.count_and_check(plan)
         consume(scope)
 
     comp.produce(plan.children[0], consume_child)
+    # Deferred first occurrences (spill mode only), in input order.
+    row = comp.fresh("rw")
+    comp.emit(f"for {row} in {buffer}.drain():")
+    with comp.block():
+        comp.tick()
+        comp.count_and_check(plan)
+        consume(comp.row_scope(row))
 
 
 def _p_sort(comp: PartCompiler, plan: PlanSort, consume) -> None:
@@ -934,25 +997,29 @@ def _p_sort(comp: PartCompiler, plan: PlanSort, consume) -> None:
         for expression, ascending in plan.order_by
     ]
 
-    def sort_rows(rows: list) -> None:
-        for fn, ascending in reversed(keys):
-            rows.sort(
-                key=lambda row, fn=fn: _sort_key(fn(row)),
-                reverse=not ascending,
-            )
+    def composed_key(row: list) -> tuple:
+        # One stable sort on this composed key equals the historical chain
+        # of per-level stable sorts (descending levels invert via Desc);
+        # it also orders the external-sort run files.
+        return tuple(
+            _sort_key(fn(row)) if ascending else Desc(_sort_key(fn(row)))
+            for fn, ascending in keys
+        )
 
-    sorter = comp.add_env("sort", sort_rows)
+    make_buffer = comp.add_env(
+        "mksort",
+        lambda mem, plan=plan: SortSpillBuffer(mem, plan, composed_key),
+    )
     buffer = comp.fresh("bf")
     append = comp.fresh("ba")
-    comp.emit(f"{buffer} = []")
-    comp.emit(f"{append} = {buffer}.append")
+    comp.emit(f"{buffer} = {make_buffer}(_mem)")
+    comp.emit(f"{append} = {buffer}.add")
 
     def consume_child(scope: _Scope) -> None:
         comp.emit(f"{append}({comp.materialize(scope)})")
 
     comp.produce(plan.children[0], consume_child)
     row = comp.fresh("rw")
-    comp.emit(f"{sorter}({buffer})")
     comp.emit(f"for {row} in {buffer}:")
     with comp.block():
         comp.tick()
@@ -1061,11 +1128,15 @@ def generate_part_source(
 
     counters = [f"_ct{i}" for i in range(len(comp.plans))]
     comp.env["_M"] = ctx.morsel_size
+    comp.env["_NT"] = NULL_TRACKER
     # Environment values are bound as default arguments so the generated
-    # loops read locals, not globals.
+    # loops read locals, not globals. ``_mem`` is the per-query
+    # MemoryTracker (None when the caller does not account memory).
     env_params = "".join(f", {name}={name}" for name in sorted(comp.env))
     header = [
-        f"def _pipeline(_arg, _flush, _check{env_params}):",
+        f"def _pipeline(_arg, _flush, _check, _mem=None{env_params}):",
+        "    if _mem is None:",
+        "        _mem = _NT",
         "    _W = len(_arg) - 1",
         "    _R0 = _arg[_W]",
         "    _tick = 0",

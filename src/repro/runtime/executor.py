@@ -18,6 +18,7 @@ from repro.errors import ReproError, TransactionError
 from repro.pathindex.store import PathIndexStore
 from repro.planner.plans import LogicalPlan
 from repro.querygraph import QueryPart, UpdateAction
+from repro.resources import ROW_BYTES, AppendSpillBuffer
 from repro.runtime.batched import SlotLayout, compile_batched_plan
 from repro.runtime.compiled import CompiledPart, CompiledQuery, compile_query
 from repro.runtime.expressions import EvaluationContext, evaluate
@@ -36,8 +37,17 @@ def _no_check() -> None:
     """Cancellation no-op for tokenless compiled executions."""
 
 
+def _accounted(rows: Iterator[Row], tracker, profile) -> Iterator[Row]:
+    """Merge the tracker's per-operator peaks into the profile when the
+    (possibly lazily consumed) row iterator finishes or is abandoned."""
+    try:
+        yield from rows
+    finally:
+        tracker.merge_into_profile(profile.operators)
+
+
 class ExecutionProfile:
-    """Execution statistics: per-operator row counts and plans."""
+    """Execution statistics: per-operator row counts, memory, and plans."""
 
     def __init__(self, plans: Sequence[LogicalPlan]) -> None:
         self.plans = list(plans)
@@ -48,8 +58,22 @@ class ExecutionProfile:
         """The evaluation's plan-quality metric (§7.1.1)."""
         return self.operators.max_intermediate_cardinality()
 
+    @property
+    def peak_memory_bytes(self) -> int:
+        """Largest single-operator buffered-bytes peak of the execution."""
+        return max(self.operators.peak_bytes.values(), default=0)
+
+    @property
+    def spill_runs(self) -> int:
+        """Total spill runs written by this execution's operators."""
+        return self.operators.total_spill_runs()
+
     def rows_by_operator(self) -> list[tuple[str, int]]:
         return self.operators.by_operator()
+
+    def bytes_by_operator(self) -> list[tuple[str, int, int]]:
+        """``(operator, peak_bytes, spill_runs)`` for every charged buffer."""
+        return self.operators.bytes_by_operator()
 
 
 class Executor:
@@ -93,6 +117,7 @@ class Executor:
         mode: str = "row",
         morsel_size: Optional[int] = None,
         compiled: Optional[CompiledQuery] = None,
+        tracker=None,
     ) -> tuple[Iterator[Row], ExecutionProfile]:
         """Build the row iterator for the whole query; lazy for reads.
 
@@ -104,7 +129,10 @@ class Executor:
         batched/compiled engines' batch size (mainly for tests).
         ``compiled`` supplies a cached codegen artifact for
         ``mode="compiled"``; when absent (or compiled for a different
-        morsel size) the plans are compiled on the fly.
+        morsel size) the plans are compiled on the fly. ``tracker`` is the
+        query's :class:`~repro.resources.MemoryTracker`; blocking operators
+        charge it (and spill through it), and its per-operator peaks merge
+        into the profile when the iterator finishes.
         """
         if mode not in ("row", "batched", "compiled"):
             raise ReproError(f"unknown execution mode {mode!r}")
@@ -115,6 +143,7 @@ class Executor:
             self.eval_ctx,
             profile.operators,
             token=token,
+            tracker=tracker,
         )
         if morsel_size is not None:
             ctx.morsel_size = morsel_size
@@ -126,10 +155,14 @@ class Executor:
                 rows = self._run_part_compiled(
                     rows, part, plan, ctx, transaction, cpart
                 )
-            return rows, profile
-        run_part = self._run_part_batched if mode == "batched" else self._run_part
-        for part, plan in planned_parts:
-            rows = run_part(rows, part, plan, ctx, transaction)
+        else:
+            run_part = (
+                self._run_part_batched if mode == "batched" else self._run_part
+            )
+            for part, plan in planned_parts:
+                rows = run_part(rows, part, plan, ctx, transaction)
+        if tracker is not None:
+            rows = _accounted(rows, tracker, profile)
         return rows, profile
 
     # ------------------------------------------------------------------
@@ -151,7 +184,7 @@ class Executor:
             return run_read()
         if transaction is None:
             raise TransactionError("update query requires an open transaction")
-        return self._run_update_part(input_rows, part, pipeline, transaction)
+        return self._run_update_part(input_rows, part, pipeline, transaction, ctx)
 
     def _run_part_batched(
         self,
@@ -206,7 +239,9 @@ class Executor:
                 for slot_row in morsel:
                     yield layout.row_to(slot_row)
 
-        return self._run_update_part(input_rows, part, row_pipeline, transaction)
+        return self._run_update_part(
+            input_rows, part, row_pipeline, transaction, ctx
+        )
 
     def _run_part_compiled(
         self,
@@ -250,19 +285,21 @@ class Executor:
             with cpart.lock:
                 return layout.row_from(arg_row)
 
+        tracker = ctx.tracker
+
         if not part.updates:
             if cpart.row_sink:
 
                 def run_read() -> Iterator[Row]:
                     for arg_row in input_rows:
-                        for morsel in fn(slot_arg(arg_row), flush, check):
+                        for morsel in fn(slot_arg(arg_row), flush, check, tracker):
                             yield from morsel
 
             else:
 
                 def run_read() -> Iterator[Row]:
                     for arg_row in input_rows:
-                        for morsel in fn(slot_arg(arg_row), flush, check):
+                        for morsel in fn(slot_arg(arg_row), flush, check, tracker):
                             for slot_row in morsel:
                                 yield layout.row_to(slot_row)
 
@@ -271,11 +308,13 @@ class Executor:
             raise TransactionError("update query requires an open transaction")
 
         def row_pipeline(arg_row: Row) -> Iterator[Row]:
-            for morsel in fn(slot_arg(arg_row), flush, check):
+            for morsel in fn(slot_arg(arg_row), flush, check, tracker):
                 for slot_row in morsel:
                     yield layout.row_to(slot_row)
 
-        return self._run_update_part(input_rows, part, row_pipeline, transaction)
+        return self._run_update_part(
+            input_rows, part, row_pipeline, transaction, ctx
+        )
 
     def _run_update_part(
         self,
@@ -283,16 +322,23 @@ class Executor:
         part: QueryPart,
         pipeline,
         transaction: Transaction,
+        ctx: RuntimeContext,
     ) -> Iterator[Row]:
         # Updates are eager: all matches are computed, all writes applied,
-        # then the boundary projection is evaluated.
-        matched: list[Row] = []
+        # then the boundary projection is evaluated. The matched-row buffer
+        # spills (order-preserving append buffer); the post-update rows are
+        # charged non-spillably, so an oversized write fails with
+        # MemoryLimitExceeded and rolls back.
+        mem = ctx.mem()
+        matched = AppendSpillBuffer(mem, "update: matched rows")
         for arg_row in input_rows:
-            matched.extend(pipeline(arg_row))
+            for row in pipeline(arg_row):
+                matched.add(row)
         deleted_rels: set[int] = set()
         deleted_nodes: set[int] = set()
         updated_rows: list[Row] = []
         for row in matched:
+            mem.charge("update: written rows", ROW_BYTES)
             updated_rows.append(
                 self._apply_updates(
                     row, part.updates, transaction, deleted_rels, deleted_nodes

@@ -42,6 +42,16 @@ from repro.planner.plans import (
     PlanRelationshipByTypeScan,
     PlanSort,
 )
+from repro.resources import (
+    NULL_TRACKER,
+    ROW_BYTES,
+    AggregationSpillBuffer,
+    AppendSpillBuffer,
+    Desc,
+    DistinctSpillBuffer,
+    JoinSpillBuffer,
+    SortSpillBuffer,
+)
 from repro.runtime.expressions import EvaluationContext, evaluate, is_true
 from repro.runtime.row import Row
 from repro.storage.graphstore import GraphStore
@@ -50,17 +60,32 @@ RunFn = Callable[[Row], Iterator[Row]]
 
 
 class OperatorProfile:
-    """Rows produced per operator, keyed by plan-node identity."""
+    """Rows produced per operator, keyed by plan-node identity.
+
+    ``peak_bytes`` / ``spills`` carry the memory tracker's per-operator
+    accounting (peak buffered bytes and spill-run counts); keys are
+    ``id(plan)`` for plan operators and plain strings for non-plan buffers
+    (the update buffer, index initialization).
+    """
 
     def __init__(self) -> None:
         self.rows: dict[int, int] = {}
         self.descriptions: dict[int, str] = {}
+        self.peak_bytes: dict = {}
+        self.spills: dict = {}
 
     def record(self, plan: LogicalPlan, count: int) -> None:
         key = id(plan)
         self.rows[key] = self.rows.get(key, 0) + count
         if key not in self.descriptions:
             self.descriptions[key] = plan.describe()
+
+    def record_memory(self, key, peak: int, spills: int, description: str) -> None:
+        self.peak_bytes[key] = max(self.peak_bytes.get(key, 0), peak)
+        if spills:
+            self.spills[key] = self.spills.get(key, 0) + spills
+        if key not in self.descriptions:
+            self.descriptions[key] = description
 
     def max_intermediate_cardinality(self) -> int:
         return max(self.rows.values(), default=0)
@@ -70,9 +95,23 @@ class OperatorProfile:
             (self.descriptions[key], count) for key, count in self.rows.items()
         ]
 
+    def bytes_by_operator(self) -> list[tuple[str, int, int]]:
+        """``(description, peak_bytes, spill_runs)`` per charged operator."""
+        return [
+            (self.descriptions.get(key, str(key)), peak, self.spills.get(key, 0))
+            for key, peak in self.peak_bytes.items()
+        ]
+
+    def total_spill_runs(self) -> int:
+        return sum(self.spills.values())
+
     def merge(self, other: "OperatorProfile") -> None:
         for key, count in other.rows.items():
             self.rows[key] = self.rows.get(key, 0) + count
+        for key, peak in other.peak_bytes.items():
+            self.peak_bytes[key] = max(self.peak_bytes.get(key, 0), peak)
+        for key, spills in other.spills.items():
+            self.spills[key] = self.spills.get(key, 0) + spills
         self.descriptions.update(other.descriptions)
 
 
@@ -85,6 +124,12 @@ class RuntimeContext:
     expiry or an explicit cancel stops a query mid-scan instead of letting
     it run to completion. ``morsel_size`` is the batch size used by the
     batched engine; the row engine ignores it.
+
+    ``tracker`` (when set) is a per-query
+    :class:`~repro.resources.MemoryTracker`: blocking operators charge it as
+    their buffers grow and spill to disk once the query's grant is
+    exceeded. Without one, :meth:`mem` returns a no-op tracker, so operator
+    code charges unconditionally.
     """
 
     def __init__(
@@ -95,6 +140,7 @@ class RuntimeContext:
         profile: OperatorProfile,
         token: Optional[object] = None,
         morsel_size: int = 1024,
+        tracker=None,
     ) -> None:
         self.store = store
         self.index_store = index_store
@@ -102,6 +148,10 @@ class RuntimeContext:
         self.profile = profile
         self.token = token
         self.morsel_size = morsel_size
+        self.tracker = tracker
+
+    def mem(self):
+        return self.tracker if self.tracker is not None else NULL_TRACKER
 
 
 def compile_plan(plan: LogicalPlan, ctx: RuntimeContext) -> RunFn:
@@ -346,35 +396,42 @@ def _expand(plan: PlanExpand, ctx: RuntimeContext) -> RunFn:
     return run
 
 
+def _merge_join_rows(partner: Row, row: Row, shared_arg_rels) -> Optional[Row]:
+    """Join-merge two rows, or None on a uniqueness/binding conflict.
+
+    Relationship uniqueness: a rel id on both sides means two variables
+    bound the same relationship — unless it came in through the shared
+    argument row.
+    """
+    if (partner.rel_ids & row.rel_ids) - shared_arg_rels:
+        return None
+    merged = dict(partner.values)
+    for name, value in row.values.items():
+        if name in merged and merged[name] != value:
+            return None
+        merged[name] = value
+    return Row(merged, partner.rel_ids | row.rel_ids)
+
+
 def _node_hash_join(plan: PlanNodeHashJoin, ctx: RuntimeContext) -> RunFn:
     left = compile_plan(plan.children[0], ctx)
     right = compile_plan(plan.children[1], ctx)
     join_vars = plan.join_nodes
 
     def run(arg_row: Row) -> Iterator[Row]:
-        table: dict[tuple, list[Row]] = {}
-        for row in left(arg_row):
-            key = tuple(row.values[var] for var in join_vars)
-            table.setdefault(key, []).append(row)
         shared_arg_rels = arg_row.rel_ids
+
+        def merge(partner: Row, row: Row) -> Optional[Row]:
+            return _merge_join_rows(partner, row, shared_arg_rels)
+
+        buffer = JoinSpillBuffer(ctx.mem(), plan, merge)
+        for row in left(arg_row):
+            buffer.insert(tuple(row.values[var] for var in join_vars), row)
         for row in right(arg_row):
-            key = tuple(row.values[var] for var in join_vars)
-            for partner in table.get(key, ()):
-                # Relationship uniqueness: a rel id on both sides means two
-                # variables bound the same relationship — unless it came in
-                # through the shared argument row.
-                if (partner.rel_ids & row.rel_ids) - shared_arg_rels:
-                    continue
-                conflict = False
-                merged = dict(partner.values)
-                for name, value in row.values.items():
-                    if name in merged and merged[name] != value:
-                        conflict = True
-                        break
-                    merged[name] = value
-                if conflict:
-                    continue
-                yield Row(merged, partner.rel_ids | row.rel_ids)
+            yield from buffer.probe(
+                tuple(row.values[var] for var in join_vars), row
+            )
+        yield from buffer.drain()
 
     return run
 
@@ -384,11 +441,13 @@ def _cartesian_product(plan: PlanCartesianProduct, ctx: RuntimeContext) -> RunFn
     right = compile_plan(plan.children[1], ctx)
 
     def run(arg_row: Row) -> Iterator[Row]:
-        right_rows: Optional[list[Row]] = None
+        right_rows: Optional[AppendSpillBuffer] = None
         shared_arg_rels = arg_row.rel_ids
         for left_row in left(arg_row):
             if right_rows is None:
-                right_rows = list(right(arg_row))
+                right_rows = AppendSpillBuffer(ctx.mem(), plan)
+                for row in right(arg_row):
+                    right_rows.add(row)
             for right_row in right_rows:
                 if (left_row.rel_ids & right_row.rel_ids) - shared_arg_rels:
                     continue
@@ -618,9 +677,14 @@ def _path_index_prefix_seek(
         # compute the relevant prefix for each result and group all results by
         # this prefix" (§5.1.3).
         groups: dict[tuple[int, ...], list[Row]] = {}
+        mem = ctx.mem()
         for row in child(arg_row):
             prefix = tuple(int(row.values[var]) for var in prefix_vars)
             groups.setdefault(prefix, []).append(row)
+            # Non-spillable: the groups map is randomly accessed per index
+            # prefix, so it charges (and may exhaust the pool) rather than
+            # spill; the charge is released when the tracker closes.
+            mem.charge(plan, ROW_BYTES)
         for prefix, rows in groups.items():
             # Partial indexes (§4.1) materialize the start node on demand.
             index.prepare_prefix(prefix, ctx.store)
@@ -738,37 +802,49 @@ def _aggregation(plan: PlanAggregation, ctx: RuntimeContext) -> RunFn:
     }
 
     def run(arg_row: Row) -> Iterator[Row]:
-        groups: dict[tuple, tuple[dict, dict]] = {}
-        for row in child(arg_row):
+        def new_state(row: Row) -> tuple[dict, dict]:
             key_values = {
                 item.output_name: evaluate(item.expression, row, ctx.eval_ctx)
                 for item in grouping
             }
-            key = tuple(_hashable(value) for value in key_values.values())
-            if key not in groups:
-                accumulators = {
-                    id(item): [
-                        _Accumulator(call) for call in calls_per_item[id(item)]
-                    ]
-                    for item in aggregates
-                }
-                groups[key] = (key_values, accumulators)
-            _, accumulators = groups[key]
+            accumulators = {
+                id(item): [
+                    _Accumulator(call) for call in calls_per_item[id(item)]
+                ]
+                for item in aggregates
+            }
+            return (key_values, accumulators)
+
+        def feed(state: tuple[dict, dict], row: Row) -> None:
+            accumulators = state[1]
             for item in aggregates:
                 for accumulator in accumulators[id(item)]:
                     accumulator.feed(row, ctx)
-        if not groups and not grouping:
-            # Global aggregation over zero rows still yields one row.
-            groups[()] = (
-                {},
-                {
-                    id(item): [
-                        _Accumulator(call) for call in calls_per_item[id(item)]
-                    ]
-                    for item in aggregates
-                },
+
+        buffer = AggregationSpillBuffer(ctx.mem(), plan, new_state, feed)
+        for row in child(arg_row):
+            key = tuple(
+                _hashable(evaluate(item.expression, row, ctx.eval_ctx))
+                for item in grouping
             )
-        for key_values, accumulators in groups.values():
+            buffer.add(key, row)
+        if buffer.is_empty and not grouping:
+            # Global aggregation over zero rows still yields one row.
+            states = [
+                (
+                    {},
+                    {
+                        id(item): [
+                            _Accumulator(call)
+                            for call in calls_per_item[id(item)]
+                        ]
+                        for item in aggregates
+                    },
+                )
+            ]
+        else:
+            states = buffer.states()
+        for key_values, accumulators in states:
             out = dict(key_values)
             for item in aggregates:
                 results = {
@@ -788,12 +864,12 @@ def _distinct(plan: PlanDistinct, ctx: RuntimeContext) -> RunFn:
     columns = plan.columns
 
     def run(arg_row: Row) -> Iterator[Row]:
-        seen: set = set()
+        buffer = DistinctSpillBuffer(ctx.mem(), plan)
         for row in child(arg_row):
             key = tuple(_hashable(row.values.get(column)) for column in columns)
-            if key not in seen:
-                seen.add(key)
+            if buffer.offer(key, row):
                 yield row
+        yield from buffer.drain()
 
     return run
 
@@ -806,15 +882,24 @@ def _hashable(value):
 
 def _sort(plan: PlanSort, ctx: RuntimeContext) -> RunFn:
     child = compile_plan(plan.children[0], ctx)
+    order_by = plan.order_by
+
+    # One composed key reproduces the repeated per-level stable sorts:
+    # descending levels are order-inverted via Desc, and sort stability
+    # supplies the original-input tiebreak.
+    def composed_key(row: Row) -> tuple:
+        return tuple(
+            _sort_key(evaluate(expression, row, ctx.eval_ctx))
+            if ascending
+            else Desc(_sort_key(evaluate(expression, row, ctx.eval_ctx)))
+            for expression, ascending in order_by
+        )
 
     def run(arg_row: Row) -> Iterator[Row]:
-        rows = list(child(arg_row))
-        for expression, ascending in reversed(plan.order_by):
-            rows.sort(
-                key=lambda row: _sort_key(evaluate(expression, row, ctx.eval_ctx)),
-                reverse=not ascending,
-            )
-        yield from rows
+        buffer = SortSpillBuffer(ctx.mem(), plan, composed_key)
+        for row in child(arg_row):
+            buffer.add(row)
+        yield from buffer
 
     return run
 

@@ -20,6 +20,12 @@ behind a thread pool so many callers can execute Cypher concurrently:
   internal locking, so a read scanning concurrently with a committing
   write would otherwise see torn state; the shared/exclusive bracket keeps
   reads parallel with each other while isolating them from writes.
+* **Resource governance** — before dispatch each query reserves a memory
+  grant from the database's :class:`~repro.resources.MemoryPool`; when the
+  pool is exhausted the query waits briefly, then is shed with
+  :class:`~repro.errors.MemoryLimitExceeded` (backpressure) while the
+  process and every other query keep running. An optional slow-query
+  watchdog cancels queries exceeding ``max_query_seconds``.
 * **Metrics** — a :class:`~repro.service.metrics.MetricsRegistry` records
   planning/execution latency, rows produced, rejections, timeouts, retries,
   plan-cache traffic and page-cache deltas; see :meth:`metrics_snapshot`.
@@ -42,6 +48,7 @@ from typing import Optional
 
 from repro.db.database import GraphDatabase
 from repro.errors import (
+    MemoryLimitExceeded,
     QueryCancelledError,
     QueryTimeoutError,
     ServiceOverloadedError,
@@ -54,6 +61,11 @@ from repro.service.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
 from repro.service.rwlock import ReadWriteLock
 
 _SHUTDOWN = object()
+
+_GRANT_WAIT_S = 5.0
+"""How long a deadline-less query waits at dispatch for a memory grant
+before it is shed with backpressure (queries with a deadline wait at most
+their remaining time)."""
 
 
 @dataclass(frozen=True)
@@ -92,6 +104,19 @@ database.GraphDatabase.checkpoint` calls."""
     ``"row"``, ``"batched"`` or ``"compiled"``. ``None`` inherits the
     database's default (``REPRO_EXECUTION_MODE`` / constructor)."""
 
+    memory_grant_bytes: Optional[int] = None
+    """Admission grant reserved from the database's memory pool before a
+    query is dispatched to a worker (also its spill threshold). ``None``
+    uses the pool's default grant. Irrelevant for unbounded pools."""
+
+    max_query_seconds: Optional[float] = None
+    """Slow-query ceiling: a watchdog thread cancels (via the query's
+    ``CancellationToken``) any query running longer than this. ``None``
+    disables the watchdog."""
+
+    watchdog_interval_s: float = 0.05
+    """How often the slow-query watchdog scans in-flight queries."""
+
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
             raise ValueError("max_concurrency must be positive")
@@ -103,6 +128,12 @@ database.GraphDatabase.checkpoint` calls."""
             raise ValueError(
                 "execution_mode must be 'row', 'batched' or 'compiled'"
             )
+        if self.memory_grant_bytes is not None and self.memory_grant_bytes <= 0:
+            raise ValueError("memory_grant_bytes must be positive")
+        if self.max_query_seconds is not None and self.max_query_seconds <= 0:
+            raise ValueError("max_query_seconds must be positive")
+        if self.watchdog_interval_s <= 0:
+            raise ValueError("watchdog_interval_s must be positive")
 
 
 class QueryStatus(enum.Enum):
@@ -128,6 +159,8 @@ class QueryOutcome:
     max_intermediate_cardinality: int = 0
     page_cache_hits: int = 0
     page_cache_misses: int = 0
+    peak_memory_bytes: int = 0
+    spill_runs: int = 0
 
     @property
     def row_count(self) -> int:
@@ -223,6 +256,12 @@ class QueryService:
         # again in shutdown() so replaced or parallel services never steal
         # each other's events.
         db.plan_cache.subscribe(self._plan_cache_event)
+        # Pool/spill counters stream into this service's registry; detached
+        # in shutdown() like the plan-cache subscription.
+        db.memory_pool.bind_metrics(self.metrics)
+        # In-flight tickets (id -> (ticket, dispatch time)) for the
+        # slow-query watchdog; guarded by _lock.
+        self._running: dict[int, tuple[QueryTicket, float]] = {}
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -244,6 +283,16 @@ class QueryService:
                 daemon=True,
             )
             self._checkpointer.start()
+        # Slow-query watchdog: cancels queries running past the ceiling.
+        self._watchdog_stop = threading.Event()
+        self._watchdog: Optional[threading.Thread] = None
+        if self.config.max_query_seconds is not None:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop,
+                name="query-service-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
 
     # ------------------------------------------------------------------
     # Submission
@@ -339,12 +388,19 @@ class QueryService:
             )
         if first:
             self.db.plan_cache.unsubscribe(self._plan_cache_event)
+            self.db.memory_pool.unbind_metrics(self.metrics)
             self._checkpoint_stop.set()
+            self._watchdog_stop.set()
         if wait:
             for worker in self._workers:
                 worker.join()
             if self._checkpointer is not None:
                 self._checkpointer.join()
+            if self._watchdog is not None:
+                self._watchdog.join()
+            # Workers are drained; any spill file still on disk is an
+            # orphan (e.g. a simulated crash mid-spill) — reclaim it.
+            self.db.spill_manager.sweep()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -382,6 +438,7 @@ class QueryService:
                 "in_flight": self._in_flight,
                 "shutdown": self._shutdown,
             }
+        snapshot["memory"] = self.db.memory_pool.snapshot()
         if self.db.durability is not None:
             snapshot["durability"] = self.db.durability.status()
         return snapshot
@@ -409,6 +466,31 @@ class QueryService:
                 # A crashed engine performs no further I/O; stop trying.
                 self.metrics.counter("durability.checkpoint_failures").inc()
                 return
+
+    # ------------------------------------------------------------------
+    # Slow-query watchdog
+    # ------------------------------------------------------------------
+
+    def _watchdog_loop(self) -> None:
+        """Cancel in-flight queries exceeding ``max_query_seconds``.
+
+        Cancellation is cooperative (the runtime checks the token at row /
+        morsel boundaries), so a runaway query stops at its next check and
+        surfaces as ``QueryStatus.CANCELLED``.
+        """
+        ceiling = self.config.max_query_seconds
+        assert ceiling is not None
+        while not self._watchdog_stop.wait(self.config.watchdog_interval_s):
+            now = time.monotonic()
+            with self._lock:
+                overdue = [
+                    ticket
+                    for ticket, dispatched in self._running.values()
+                    if now - dispatched > ceiling and not ticket.token.cancelled
+                ]
+            for ticket in overdue:
+                self.metrics.counter("service.watchdog_cancels").inc()
+                ticket.token.cancel()
 
     # ------------------------------------------------------------------
     # Worker internals
@@ -446,8 +528,36 @@ class QueryService:
             )
             return
         ticket.status = QueryStatus.RUNNING
+        pool = self.db.memory_pool
+        # Admission control for memory: reserve the query's grant before it
+        # touches a worker's CPU. The wait is bounded (remaining deadline,
+        # or a few seconds for deadline-less queries) so an exhausted pool
+        # sheds load with backpressure instead of queueing forever.
         try:
-            outcome = self._execute_with_retry(ticket, queue_seconds)
+            wait_s = token.remaining()
+            reserved = pool.reserve_grant(
+                self.config.memory_grant_bytes,
+                timeout_s=_GRANT_WAIT_S if wait_s is None else wait_s,
+                token=token,
+            )
+        except MemoryLimitExceeded as exc:
+            if token.cancelled:
+                self.metrics.counter("service.cancellations").inc()
+                ticket._fail(QueryCancelledError(), QueryStatus.CANCELLED)
+            else:
+                self.metrics.counter("service.memory_rejections").inc()
+                ticket._fail(exc, QueryStatus.FAILED)
+            return
+        tracker = pool.tracker(
+            label=f"service:{ticket.query[:48]}",
+            grant_bytes=self.config.memory_grant_bytes,
+            spill_manager=self.db.spill_manager,
+            reserved_bytes=reserved,
+        )
+        with self._lock:
+            self._running[id(ticket)] = (ticket, time.monotonic())
+        try:
+            outcome = self._execute_with_retry(ticket, queue_seconds, tracker)
         except QueryTimeoutError as exc:
             self.metrics.counter("service.timeouts").inc()
             ticket.rows_produced = exc.rows_produced
@@ -456,15 +566,25 @@ class QueryService:
             self.metrics.counter("service.cancellations").inc()
             ticket.rows_produced = exc.rows_produced
             ticket._fail(exc, QueryStatus.CANCELLED)
+        except MemoryLimitExceeded as exc:
+            # The query outgrew the pool mid-flight; it was rolled back
+            # (writes) or abandoned (reads) — the process and every other
+            # query keep running.
+            self.metrics.counter("service.memory_rejections").inc()
+            ticket._fail(exc, QueryStatus.FAILED)
         except BaseException as exc:  # noqa: BLE001 - report to the caller
             self.metrics.counter("service.failures").inc()
             ticket._fail(exc, QueryStatus.FAILED)
         else:
             self.metrics.counter("service.queries_completed").inc()
             ticket._succeed(outcome)
+        finally:
+            with self._lock:
+                self._running.pop(id(ticket), None)
+            tracker.close()
 
     def _execute_with_retry(
-        self, ticket: QueryTicket, queue_seconds: float
+        self, ticket: QueryTicket, queue_seconds: float, tracker
     ) -> QueryOutcome:
         db = self.db
         plan_started = time.perf_counter()
@@ -478,7 +598,7 @@ class QueryService:
         while True:
             attempts += 1
             try:
-                outcome = self._execute_once(ticket, cached, is_write)
+                outcome = self._execute_once(ticket, cached, is_write, tracker)
                 break
             except TransactionError:
                 if not is_write or attempts > self.config.write_retries:
@@ -488,6 +608,11 @@ class QueryService:
         outcome.planning_seconds = planning_seconds
         outcome.queue_seconds = queue_seconds
         outcome.attempts = attempts
+        outcome.peak_memory_bytes = tracker.peak_bytes
+        outcome.spill_runs = tracker.spill_runs
+        self.metrics.histogram("service.peak_memory_bytes").observe(
+            tracker.peak_bytes
+        )
         outcome.total_seconds = (
             queue_seconds + planning_seconds + outcome.execution_seconds
         )
@@ -505,7 +630,7 @@ class QueryService:
         return outcome
 
     def _execute_once(
-        self, ticket: QueryTicket, cached, is_write: bool
+        self, ticket: QueryTicket, cached, is_write: bool, tracker
     ) -> QueryOutcome:
         db = self.db
         # Page-cache deltas are approximate under concurrency (the cache is
@@ -532,6 +657,7 @@ class QueryService:
                             token=ticket.token,
                             prepared=cached,
                             execution_mode=self.config.execution_mode,
+                            tracker=tracker,
                         )
                         rows = self._drain(result, ticket)
                 else:
@@ -541,6 +667,7 @@ class QueryService:
                         token=ticket.token,
                         prepared=cached,
                         execution_mode=self.config.execution_mode,
+                        tracker=tracker,
                     )
                     rows = self._drain(result, ticket)
             if durability is not None:
@@ -557,6 +684,7 @@ class QueryService:
                     token=ticket.token,
                     prepared=cached,
                     execution_mode=self.config.execution_mode,
+                    tracker=tracker,
                 )
                 rows = self._drain(result, ticket)
         execution_seconds = time.perf_counter() - execution_started

@@ -22,6 +22,8 @@ Inside the REPL, statements end with ``;``. Meta-commands:
     :drop-index <name>          remove a path index
     :stats                      node/relationship/index counts
     :metrics                    query-service counters and latency histograms
+    :memory                     memory pool usage, per-query peaks, spill
+                                counters (see GraphDatabase(memory_budget=...))
     :checkpoint                 durable databases: snapshot + truncate the WAL
     :save <dir> / :load <dir>   snapshot persistence
 
@@ -123,6 +125,7 @@ class Shell:
             ":drop-index": self._cmd_drop_index,
             ":stats": self._cmd_stats,
             ":metrics": self._cmd_metrics,
+            ":memory": self._cmd_memory,
             ":checkpoint": self._cmd_checkpoint,
             ":save": self._cmd_save,
             ":load": self._cmd_load,
@@ -231,6 +234,60 @@ class Shell:
             f"page cache: {page_cache['hits']} hits, {page_cache['misses']} "
             f"misses, hit ratio {page_cache['hit_ratio']:.3f}"
         )
+        memory = snapshot["memory"]
+        budget = memory["budget_bytes"]
+        usage = (
+            "unbounded"
+            if budget is None
+            else f"{memory['in_use_bytes']}/{budget} bytes in use"
+        )
+        self.println(
+            f"memory: {usage}, peak {memory['peak_bytes']} bytes, "
+            f"{memory['spill_runs']} spill runs (:memory for detail)"
+        )
+
+    def _cmd_memory(self, argument: str) -> None:
+        pool = self.db.memory_pool.snapshot()
+        budget = pool["budget_bytes"]
+        self.println(
+            "memory pool: "
+            + (
+                "unbounded (accounting only)"
+                if budget is None
+                else f"budget {budget} bytes, "
+                f"default grant {pool['default_grant_bytes']} bytes"
+            )
+        )
+        self.println(
+            f"  in use: {pool['in_use_bytes']} bytes "
+            f"(granted {pool['granted_bytes']}, overage "
+            f"{pool['overage_bytes']}), peak {pool['peak_bytes']}"
+        )
+        self.println(
+            f"  queries tracked: {pool['queries_tracked']}, grants denied: "
+            f"{pool['grants_denied']}, grant waits: {pool['grant_waits']}, "
+            f"limit exceeded: {pool['limit_exceeded']}"
+        )
+        self.println(
+            f"  spills: {pool['spill_runs']} runs, "
+            f"{pool['spill_bytes']} bytes estimated"
+        )
+        manager = self.db.spill_manager
+        self.println(
+            f"  spill files: {manager.files_created} created, "
+            f"{manager.bytes_written} bytes written, "
+            f"{manager.files_swept} swept"
+        )
+        for name, nbytes in pool["caches"].items():
+            self.println(f"  {name}: {nbytes} bytes")
+        peaks = self.service.metrics_snapshot()["histograms"].get(
+            "service.peak_memory_bytes"
+        )
+        if peaks and peaks["count"]:
+            self.println(
+                f"  per-query peaks: n={peaks['count']} "
+                f"mean={peaks['mean']:.0f} max={peaks['max']:.0f} bytes"
+            )
 
     def _cmd_checkpoint(self, argument: str) -> None:
         if self.db.durability is None:

@@ -49,14 +49,12 @@ def forced(name):
     )
 
 
-def run_both(db, query, hints=None, exact_profile=True):
+def run_both(db, query, hints=None):
     """Execute in both modes; assert full equivalence; return the rows.
 
-    ``exact_profile=False`` is for LIMIT queries: the row engine's laziness
-    lets a Limit stop pulling mid-stream, while a batched operator always
-    finishes the morsel it started, so operators between a Limit and the
-    nearest blocking operator may over-produce by up to one morsel. Result
-    rows are still required to be identical.
+    Profiles are exact even for LIMIT queries: the batched Limit compiles
+    its streaming child subtree with morsels of one, so upstream operators
+    produce exactly the rows the row engine's lazy pull would.
     """
     row_result = db.execute(query, hints, execution_mode="row")
     row_rows = row_result.to_list()
@@ -67,16 +65,11 @@ def run_both(db, query, hints=None, exact_profile=True):
     # directly comparable per plan node.
     row_profile = row_result.profile.operators.rows
     batched_profile = batched_result.profile.operators.rows
-    if exact_profile:
-        assert batched_profile == row_profile, query
-        assert (
-            batched_result.max_intermediate_cardinality
-            == row_result.max_intermediate_cardinality
-        ), query
-    else:
-        assert batched_profile.keys() == row_profile.keys(), query
-        for key, row_count in row_profile.items():
-            assert batched_profile[key] >= row_count, query
+    assert batched_profile == row_profile, query
+    assert (
+        batched_result.max_intermediate_cardinality
+        == row_result.max_intermediate_cardinality
+    ), query
     return row_rows
 
 
@@ -189,8 +182,6 @@ FEATURE_QUERIES = [
     "MATCH (a:A)-[x:X]->(b) RETURN DISTINCT a.v AS v, b.v AS w ORDER BY v, w",
 ]
 
-# Limit truncation is lazy in the row engine but morsel-granular in the
-# batched engine, so these check rows exactly and profiles as lower bounds.
 LIMIT_QUERIES = [
     "MATCH (n:A) RETURN n.v AS v ORDER BY n.v DESC SKIP 2 LIMIT 3",
     "MATCH (n) RETURN labels(n) AS ls, n.v + 1 AS w ORDER BY n.i LIMIT 10",
@@ -205,13 +196,26 @@ def test_feature_queries_agree(feature_db):
 
 def test_limit_queries_agree(feature_db):
     for query in LIMIT_QUERIES:
-        run_both(feature_db, query, exact_profile=False)
+        run_both(feature_db, query)
+
+
+def test_limit_does_not_overfill_upstream_morsels(feature_db):
+    """The Limit child subtree runs demand-driven: streaming operators
+    above the nearest blocking operator must profile exactly the rows the
+    row engine's lazy pull consumes — not a full final morsel."""
+    query = "MATCH (n) RETURN labels(n) AS ls, n.v + 1 AS w LIMIT 3"
+    reference = feature_db.execute(query, execution_mode="row")
+    expected = reference.to_list()
+    assert len(expected) == 3
+    batched = feature_db.execute(query, execution_mode="batched")
+    assert batched.to_list() == expected
+    assert batched.profile.operators.rows == reference.profile.operators.rows
 
 
 def test_small_morsel_sizes_hit_batch_boundaries(feature_db):
     """Morsel size must be invisible: sizes that split every operator's
     output mid-batch give the same rows and profile as the row engine."""
-    for query in FEATURE_QUERIES:
+    for query in FEATURE_QUERIES + LIMIT_QUERIES:
         reference = feature_db.execute(query, execution_mode="row")
         expected = reference.to_list()
         for morsel_size in (1, 2, 7):
@@ -220,11 +224,6 @@ def test_small_morsel_sizes_hit_batch_boundaries(feature_db):
             assert (
                 profile.operators.rows == reference.profile.operators.rows
             ), (query, morsel_size)
-    for query in LIMIT_QUERIES:
-        expected = feature_db.execute(query, execution_mode="row").to_list()
-        for morsel_size in (1, 2, 7):
-            rows, _ = run_with_morsel_size(feature_db, query, morsel_size)
-            assert rows == expected, (query, morsel_size)
 
 
 def test_unknown_execution_mode_rejected(feature_db):

@@ -12,7 +12,12 @@ paper-shaped pattern queries.
 import pytest
 
 from repro import FaultInjector, GraphDatabase, SimulatedCrashError
-from repro.durability import CHECKPOINT_KILL_POINTS, KILL_POINTS, WAL_KILL_POINTS
+from repro.durability import (
+    CHECKPOINT_KILL_POINTS,
+    KILL_POINTS,
+    SPILL_KILL_POINTS,
+    WAL_KILL_POINTS,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -221,17 +226,29 @@ def test_checkpoint_kill_points_preserve_committed_state(tmp_path, point):
 def test_every_kill_point_is_exercised(tmp_path):
     """Meta-test: the matrices above cover every named kill-point, and each
     armed point actually fires (the injector records the crash point)."""
-    covered = set(WAL_PROCESS_CRASH_EXPECTATION) | set(CHECKPOINT_KILL_POINTS)
+    covered = (
+        set(WAL_PROCESS_CRASH_EXPECTATION)
+        | set(CHECKPOINT_KILL_POINTS)
+        | set(SPILL_KILL_POINTS)
+    )
     assert covered == set(KILL_POINTS)
     for point in KILL_POINTS:
         directory = tmp_path / f"fire-{point.replace('.', '-')}"
         injector = FaultInjector()
-        db = GraphDatabase.open(directory, fault_injector=injector)
+        kwargs = {}
+        if point in SPILL_KILL_POINTS:
+            # A grant of one row makes the first ORDER BY buffer spill.
+            kwargs = {"memory_budget": 1 << 20, "memory_grant": 256}
+        db = GraphDatabase.open(directory, fault_injector=injector, **kwargs)
         nodes = build_base(db)
         injector.arm(point)
         with pytest.raises(SimulatedCrashError):
             if point in CHECKPOINT_KILL_POINTS:
                 db.checkpoint()
+            elif point in SPILL_KILL_POINTS:
+                db.execute(
+                    "MATCH (n:P) RETURN n.name AS name ORDER BY name"
+                ).to_list()
             else:
                 crashing_write(db, nodes, "create")
         assert injector.crashed and injector.crash_point == point

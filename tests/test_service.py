@@ -214,7 +214,13 @@ class _FlakyDatabase(GraphDatabase):
         self.attempts_seen = 0
 
     def execute(
-        self, query_text, hints=None, token=None, prepared=None, execution_mode=None
+        self,
+        query_text,
+        hints=None,
+        token=None,
+        prepared=None,
+        execution_mode=None,
+        tracker=None,
     ):
         cached = prepared if prepared is not None else self.prepare(query_text, hints)
         if cached.analyzed.is_write:
@@ -228,6 +234,7 @@ class _FlakyDatabase(GraphDatabase):
             token=token,
             prepared=cached,
             execution_mode=execution_mode,
+            tracker=tracker,
         )
 
 

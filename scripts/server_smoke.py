@@ -1,0 +1,135 @@
+"""CI smoke test for the network server.
+
+Boots ``python -m repro.server`` as a real subprocess on a temp durable
+database and an ephemeral port, hammers it with 8 concurrent client
+threads running a mixed read/write workload, checks every remote row set
+against in-process ``db.execute()``, then SIGTERMs the server and asserts
+a clean graceful drain (exit code 0, ``server drained cleanly`` printed)
+and that the WAL recovered state matches what the clients wrote.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/server_smoke.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro import GraphDatabase  # noqa: E402
+from repro.client import Client  # noqa: E402
+
+THREADS = 8
+WRITES_PER_WRITER = 25
+
+
+def start_server(data_dir: str) -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env.setdefault("PYTHONUNBUFFERED", "1")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--data", data_dir, "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    line = process.stdout.readline().strip()
+    if not line.startswith("listening on "):
+        process.kill()
+        raise RuntimeError(f"unexpected server banner: {line!r}")
+    host, _, port = line.removeprefix("listening on ").rpartition(":")
+    return process, host, int(port)
+
+
+def worker(index: int, host: str, port: int, failures: list) -> None:
+    try:
+        with Client(host, port) as client:
+            if index % 2 == 0:  # writer
+                for i in range(WRITES_PER_WRITER):
+                    outcome = client.execute(
+                        f"CREATE (:S {{owner: {index}, i: {i}}})"
+                    )
+                    assert outcome.commit_lsn is not None, "write without LSN"
+                mine = client.execute(
+                    f"MATCH (n:S) WHERE n.owner = {index} RETURN n.i AS i"
+                )
+                got = sorted(row["i"] for row in mine.rows)
+                assert got == list(range(WRITES_PER_WRITER)), got
+            else:  # reader
+                for _ in range(WRITES_PER_WRITER):
+                    outcome = client.execute("MATCH (n:S) RETURN n.i AS i")
+                    assert outcome.row_count >= 0
+    except Exception as exc:  # noqa: BLE001 - surfaced in main
+        failures.append((index, exc))
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        data_dir = os.path.join(tmp, "db")
+        process, host, port = start_server(data_dir)
+        try:
+            failures: list = []
+            threads = [
+                threading.Thread(target=worker, args=(i, host, port, failures))
+                for i in range(THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+            if failures:
+                for index, exc in failures:
+                    print(f"client {index} failed: {exc!r}", file=sys.stderr)
+                return 1
+
+            with Client(host, port) as client:
+                remote_rows = client.execute(
+                    "MATCH (n:S) RETURN n.owner AS owner, n.i AS i"
+                ).rows
+        finally:
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=60)
+
+        if process.returncode != 0:
+            print(f"server exited {process.returncode}:\n{output}", file=sys.stderr)
+            return 1
+        if "server drained cleanly" not in output:
+            print(f"no clean-drain marker in output:\n{output}", file=sys.stderr)
+            return 1
+
+        # Recover the WAL in-process: rows must match what clients saw.
+        db = GraphDatabase.open(data_dir)
+        try:
+            local = db.execute("MATCH (n:S) RETURN n.owner AS owner, n.i AS i")
+            local_rows = [
+                {column: row.get(column) for column in local.columns}
+                for row in local.to_list()
+            ]
+        finally:
+            db.close()
+        key = lambda row: (row["owner"], row["i"])  # noqa: E731
+        if sorted(remote_rows, key=key) != sorted(local_rows, key=key):
+            print("network rows differ from recovered in-process rows", file=sys.stderr)
+            return 1
+        expected = (THREADS // 2) * WRITES_PER_WRITER
+        if len(local_rows) != expected:
+            print(f"expected {expected} rows, found {len(local_rows)}", file=sys.stderr)
+            return 1
+
+    print(
+        f"server smoke OK: {THREADS} concurrent clients, "
+        f"{expected} durable rows, graceful drain"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

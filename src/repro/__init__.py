@@ -24,6 +24,7 @@ from repro.durability import (
     SimulatedCrashError,
 )
 from repro.errors import (
+    AuthenticationError,
     ConstraintViolationError,
     CypherSemanticError,
     CypherSyntaxError,
@@ -32,6 +33,7 @@ from repro.errors import (
     PathIndexError,
     PatternSyntaxError,
     PlannerError,
+    ProtocolError,
     QueryCancelledError,
     QueryTimeoutError,
     ReproError,
@@ -57,6 +59,7 @@ from repro.service import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AuthenticationError",
     "CancellationToken",
     "ConstraintViolationError",
     "CypherSemanticError",
@@ -76,6 +79,7 @@ __all__ = [
     "PatternSyntaxError",
     "PlannerError",
     "PlannerHints",
+    "ProtocolError",
     "QueryCancelledError",
     "QueryOutcome",
     "QueryService",

@@ -1,0 +1,17 @@
+"""Blocking network client for the :mod:`repro.server` binary protocol.
+
+>>> from repro.client import Client
+>>> with Client("127.0.0.1", 7687) as client:
+...     outcome = client.execute("MATCH (n:Person) RETURN n.name AS name")
+...     outcome.rows
+[{'name': ...}]
+"""
+
+from repro.client.client import (
+    Client,
+    PreparedStatement,
+    RemoteOutcome,
+    StreamingResult,
+)
+
+__all__ = ["Client", "PreparedStatement", "RemoteOutcome", "StreamingResult"]

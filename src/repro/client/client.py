@@ -1,0 +1,378 @@
+"""The blocking client: connect/execute/prepare/stream over the wire protocol.
+
+A :class:`Client` owns one TCP connection = one server session. Requests on
+a session are processed in order, so the client is free to *pipeline*:
+:meth:`Client.execute` writes RUN and PULL back-to-back in a single send
+and then reads both responses, halving round-trips. :meth:`Client.stream`
+returns a :class:`StreamingResult` that pulls rows in bounded credit cycles
+— the server parks the rest, which is exactly the credit-based backpressure
+the protocol is built around.
+
+Server-side errors arrive as structured FAILURE frames and are re-raised
+as their original :mod:`repro.errors` classes (``CypherSyntaxError``,
+``ServiceOverloadedError``, ``QueryTimeoutError``, …) with a ``retryable``
+attribute attached.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro import wire
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class PreparedStatement:
+    """A server-side prepared statement handle."""
+
+    stmt: int
+    query: str
+    columns: tuple[str, ...]
+    is_write: bool
+
+
+@dataclass
+class RemoteOutcome:
+    """A completed remote query: rows plus the server's summary statistics
+    (mirrors :class:`repro.service.QueryOutcome`)."""
+
+    rows: list[dict] = field(default_factory=list)
+    columns: list[str] = field(default_factory=list)
+    planning_seconds: float = 0.0
+    execution_seconds: float = 0.0
+    queue_seconds: float = 0.0
+    total_seconds: float = 0.0
+    attempts: int = 1
+    max_intermediate_cardinality: int = 0
+    page_cache_hits: int = 0
+    page_cache_misses: int = 0
+    peak_memory_bytes: int = 0
+    spill_runs: int = 0
+    commit_lsn: Optional[int] = None
+    """The write's WAL sequence number — the read-your-writes token."""
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    @classmethod
+    def from_summary(
+        cls, rows: list[dict], columns: list[str], summary: dict
+    ) -> "RemoteOutcome":
+        outcome = cls(rows=rows, columns=columns)
+        for name in (
+            "planning_seconds",
+            "execution_seconds",
+            "queue_seconds",
+            "total_seconds",
+            "attempts",
+            "max_intermediate_cardinality",
+            "page_cache_hits",
+            "page_cache_misses",
+            "peak_memory_bytes",
+            "spill_runs",
+            "commit_lsn",
+        ):
+            if name in summary and summary[name] is not None:
+                setattr(outcome, name, summary[name])
+        return outcome
+
+
+class Client:
+    """One blocking connection to a :mod:`repro.server` instance."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        auth_token: Optional[str] = None,
+        connect_timeout_s: float = 10.0,
+        io_timeout_s: Optional[float] = 120.0,
+        client_name: str = "repro.client",
+    ) -> None:
+        self._sock: Optional[socket.socket] = socket.create_connection(
+            (host, port), timeout=connect_timeout_s
+        )
+        self._sock.settimeout(io_timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._frames = wire.FrameReader()
+        self._stream: Optional["StreamingResult"] = None
+        auth = {"token": auth_token} if auth_token is not None else {}
+        self._send(
+            wire.MSG_HELLO,
+            {
+                "versions": list(wire.SUPPORTED_VERSIONS),
+                "auth": auth,
+                "client": client_name,
+            },
+        )
+        fields = self._expect_success()
+        #: Negotiated protocol version and the server's banner string.
+        self.protocol_version: int = fields.get("version", 0)
+        self.server_info: str = fields.get("server", "")
+        self.session_id = fields.get("session")
+
+    # ------------------------------------------------------------------
+    # Wire I/O
+    # ------------------------------------------------------------------
+
+    def _send(self, tag: int, fields: dict) -> None:
+        if self._sock is None:
+            raise ProtocolError("client is closed")
+        self._sock.sendall(wire.encode_frame(tag, fields))
+
+    def _send_many(self, *frames: tuple[int, dict]) -> None:
+        """Pipelined write: several request frames in one send."""
+        if self._sock is None:
+            raise ProtocolError("client is closed")
+        self._sock.sendall(
+            b"".join(wire.encode_frame(tag, fields) for tag, fields in frames)
+        )
+
+    def _recv(self) -> tuple[int, dict]:
+        if self._sock is None:
+            raise ProtocolError("client is closed")
+        while True:
+            frame = self._frames.pop()
+            if frame is not None:
+                return frame
+            data = self._sock.recv(1 << 16)
+            if not data:
+                self._frames.close()  # raises if a frame is torn
+                raise ProtocolError("connection closed by server")
+            self._frames.feed(data)
+
+    def _expect_success(self) -> dict:
+        tag, fields = self._recv()
+        if tag == wire.MSG_FAILURE:
+            wire.raise_failure(fields)
+        if tag != wire.MSG_SUCCESS:
+            raise ProtocolError(
+                f"expected SUCCESS, got {wire.MESSAGE_NAMES.get(tag, tag)}"
+            )
+        return fields
+
+    def _check_no_stream(self) -> None:
+        if self._stream is not None and not self._stream.closed:
+            raise ProtocolError(
+                "a streamed result is still open — exhaust or close() it first"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: Optional[str] = None,
+        stmt: Optional[PreparedStatement | int] = None,
+        deadline_s: Optional[float] = None,
+    ) -> RemoteOutcome:
+        """Run a query (text or prepared statement) and fetch every row.
+
+        RUN and PULL(-1) are pipelined in one socket write; the rows come
+        back as RECORD chunks followed by the summary SUCCESS.
+        """
+        self._check_no_stream()
+        run_fields = self._run_fields(query, stmt, deadline_s)
+        self._send_many(
+            (wire.MSG_RUN, run_fields), (wire.MSG_PULL, {"n": -1})
+        )
+        tag, run_reply = self._recv()
+        if tag == wire.MSG_FAILURE:
+            # RUN failed; the pipelined PULL then fails against no open
+            # result — consume that response so the session stays in sync.
+            exc = wire.failure_exception(run_reply)
+            self._recv()
+            raise exc
+        if tag != wire.MSG_SUCCESS:
+            raise ProtocolError(
+                f"expected SUCCESS, got {wire.MESSAGE_NAMES.get(tag, tag)}"
+            )
+        columns = list(run_reply.get("columns") or [])
+        rows: list[dict] = []
+        while True:
+            tag, fields = self._recv()
+            if tag == wire.MSG_RECORD:
+                for values in fields.get("rows", []):
+                    rows.append(dict(zip(columns, values)))
+            elif tag == wire.MSG_SUCCESS:
+                return RemoteOutcome.from_summary(rows, columns, fields)
+            elif tag == wire.MSG_FAILURE:
+                wire.raise_failure(fields)
+            else:
+                raise ProtocolError(
+                    f"unexpected {wire.MESSAGE_NAMES.get(tag, tag)} "
+                    "while streaming"
+                )
+
+    def prepare(self, query: str) -> PreparedStatement:
+        """Plan a query server-side; returns a reusable statement handle."""
+        self._check_no_stream()
+        self._send(wire.MSG_PREPARE, {"query": query})
+        fields = self._expect_success()
+        return PreparedStatement(
+            stmt=fields["stmt"],
+            query=query,
+            columns=tuple(fields.get("columns") or ()),
+            is_write=bool(fields.get("is_write")),
+        )
+
+    def stream(
+        self,
+        query: Optional[str] = None,
+        stmt: Optional[PreparedStatement | int] = None,
+        deadline_s: Optional[float] = None,
+        credit: int = 256,
+    ) -> "StreamingResult":
+        """Run a query and iterate rows in bounded credit cycles.
+
+        Unpulled rows stay parked on the server (credit-based
+        backpressure). Exhaust the iterator or ``close()`` it before
+        issuing the next request on this client.
+        """
+        if credit < 1:
+            raise ValueError("credit must be positive")
+        self._check_no_stream()
+        self._send(wire.MSG_RUN, self._run_fields(query, stmt, deadline_s))
+        run_reply = self._expect_success()
+        columns = list(run_reply.get("columns") or [])
+        self._stream = StreamingResult(self, columns, credit)
+        return self._stream
+
+    @staticmethod
+    def _run_fields(
+        query: Optional[str],
+        stmt: Optional[PreparedStatement | int],
+        deadline_s: Optional[float],
+    ) -> dict:
+        if (query is None) == (stmt is None):
+            raise ValueError("pass exactly one of query or stmt")
+        fields: dict = {}
+        if query is not None:
+            fields["query"] = query
+        else:
+            fields["stmt"] = stmt.stmt if isinstance(stmt, PreparedStatement) else stmt
+        if deadline_s is not None:
+            fields["deadline_s"] = deadline_s
+        return fields
+
+    # ------------------------------------------------------------------
+    # Session control
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear server-side session state (drops any open result)."""
+        if self._stream is not None:
+            self._stream._abandon()
+        self._send(wire.MSG_RESET, {})
+        self._expect_success()
+
+    def close(self) -> None:
+        """Say GOODBYE and close the socket (idempotent)."""
+        sock, self._sock = self._sock, None
+        if sock is None:
+            return
+        try:
+            sock.sendall(wire.encode_frame(wire.MSG_GOODBYE, {}))
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._sock is None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class StreamingResult:
+    """Iterator over a streamed result, pulling one credit cycle at a time.
+
+    Between ``__next__`` calls the wire is always at a request boundary, so
+    :meth:`close` can cleanly DISCARD the remainder server-side.
+    """
+
+    def __init__(self, client: Client, columns: list[str], credit: int) -> None:
+        self._client = client
+        self.columns = columns
+        self._credit = credit
+        self._buffer: list[dict] = []
+        self._exhausted = False
+        self._closed = False
+        #: The server's summary fields, available once the stream ends.
+        self.summary: Optional[dict] = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __iter__(self) -> Iterator[dict]:
+        return self
+
+    def __next__(self) -> dict:
+        while not self._buffer:
+            if self._exhausted:
+                self._finish()
+                raise StopIteration
+            self._pull_cycle()
+        return self._buffer.pop(0)
+
+    def _pull_cycle(self) -> None:
+        client = self._client
+        client._send(wire.MSG_PULL, {"n": self._credit})
+        while True:
+            tag, fields = client._recv()
+            if tag == wire.MSG_RECORD:
+                for values in fields.get("rows", []):
+                    self._buffer.append(dict(zip(self.columns, values)))
+            elif tag == wire.MSG_SUCCESS:
+                if not fields.get("has_more"):
+                    self.summary = fields
+                    self._exhausted = True
+                return
+            elif tag == wire.MSG_FAILURE:
+                self._exhausted = True
+                self._finish()
+                wire.raise_failure(fields)
+            else:
+                raise ProtocolError(
+                    f"unexpected {wire.MESSAGE_NAMES.get(tag, tag)} "
+                    "while streaming"
+                )
+
+    def close(self) -> None:
+        """Discard the un-pulled remainder server-side (idempotent)."""
+        if self._closed:
+            return
+        if not self._exhausted and not self._client.closed:
+            self._client._send(wire.MSG_DISCARD, {})
+            self.summary = self._client._expect_success()
+            self._exhausted = True
+        self._finish()
+
+    def _finish(self) -> None:
+        self._closed = True
+        if self._client._stream is self:
+            self._client._stream = None
+
+    def _abandon(self) -> None:
+        """Mark closed without wire traffic (the client is RESETting)."""
+        self._exhausted = True
+        self._finish()
+
+    def __enter__(self) -> "StreamingResult":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

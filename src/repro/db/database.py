@@ -340,6 +340,9 @@ class GraphDatabase:
             if own_tracker:
                 rows = _closing(rows, tracker)
             return Result(rows, cached.columns, profile, submitted)
+        durability = self.durability
+        if durability is not None:
+            durability.begin_lsn_capture()
         try:
             with self._write_tx() as (tx, own):
                 rows, profile = executor.execute(
@@ -356,7 +359,12 @@ class GraphDatabase:
         finally:
             if own_tracker:
                 tracker.close()
-        return Result(iter(materialized), cached.columns, profile, submitted)
+        result = Result(iter(materialized), cached.columns, profile, submitted)
+        if durability is not None:
+            # The commit's LSN (logged during the transaction close above on
+            # this same thread) is the caller's read-your-writes token.
+            result.commit_lsn = durability.captured_lsn()
+        return result
 
     def _compiled(self, cached: CachedQuery, executor: Executor):
         """The cached codegen artifact for ``cached``, compiling on first

@@ -36,6 +36,10 @@ class Result:
         self._last_at: Optional[float] = None
         self._count = 0
         self._exhausted = False
+        #: Log sequence number of the commit this (write) query produced, a
+        #: read-your-writes token for replication catch-up. ``None`` for
+        #: reads, non-durable databases, and writes that changed nothing.
+        self.commit_lsn: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Iteration

@@ -128,6 +128,10 @@ class DurabilityEngine:
         self._sync_cond = threading.Condition()
         self._sync_leader = False
         self._deferred = threading.local()
+        # Per-thread capture of the last commit's log sequence number, so
+        # the database facade can return a read-your-writes LSN token with
+        # each write query's result (see begin_lsn_capture/captured_lsn).
+        self._lsn_capture = threading.local()
         self.commits_logged = 0
         self.fsync_count = 0
         self.synced_commits = 0
@@ -287,6 +291,7 @@ class DurabilityEngine:
             self._logged_types = len(types)
             self._logged_keys = len(keys)
             self.commits_logged += 1
+        self._lsn_capture.seq = seq
         if self._defer(seq):
             return
         self.sync(seq)
@@ -362,6 +367,17 @@ class DurabilityEngine:
                 self.fsync_count += 1
                 self._sync_leader = False
                 self._sync_cond.notify_all()
+
+    def begin_lsn_capture(self) -> None:
+        """Reset this thread's captured commit LSN; pair with
+        :meth:`captured_lsn` around a write to learn its log sequence
+        number (the read-your-writes token returned to clients)."""
+        self._lsn_capture.seq = None
+
+    def captured_lsn(self) -> Optional[int]:
+        """The LSN of the last commit this thread logged since
+        :meth:`begin_lsn_capture` (None if it logged nothing)."""
+        return getattr(self._lsn_capture, "seq", None)
 
     @contextmanager
     def deferred_sync(self):

@@ -75,6 +75,20 @@ class MemoryLimitExceeded(ReproError):
         self.budget_bytes = budget_bytes
 
 
+class ProtocolError(ReproError):
+    """The network wire protocol was violated (malformed frame, CRC mismatch,
+    unknown message tag, out-of-order message, truncated stream).
+
+    Raised by both ends: the server answers with a structured FAILURE frame
+    and closes the session; the client raises it to the caller. A connection
+    that raised ``ProtocolError`` is beyond recovery — reconnect.
+    """
+
+
+class AuthenticationError(ReproError):
+    """The server rejected the session's HELLO credentials."""
+
+
 class ServiceError(ReproError):
     """The concurrent query service was used incorrectly or is unavailable."""
 

@@ -1,0 +1,17 @@
+"""The network front door: an asyncio TCP server speaking the binary wire
+protocol of :mod:`repro.wire` in front of one
+:class:`~repro.service.QueryService`.
+
+* :class:`Server` — the asyncio server: sessions, pipelined requests,
+  credit-based result streaming, graceful drain.
+* :class:`ServerConfig` — tuning knobs (auth token, chunk size, drain
+  timeout, …).
+* :class:`BackgroundServer` — runs a :class:`Server`'s event loop in a
+  daemon thread; the blocking harness tests, benchmarks and embedders use.
+* ``python -m repro.server --data DIR --port N`` — the deployable
+  entrypoint (see :mod:`repro.server.__main__`).
+"""
+
+from repro.server.server import BackgroundServer, Server, ServerConfig
+
+__all__ = ["BackgroundServer", "Server", "ServerConfig"]

@@ -1,0 +1,130 @@
+"""``python -m repro.server`` — the deployable network entrypoint.
+
+Usage::
+
+    python -m repro.server --data mydb/ --port 7687
+    python -m repro.server --port 0          # in-memory db, ephemeral port
+
+Opens a (durable, when ``--data`` is given) database, wraps it in a
+:class:`~repro.service.QueryService`, and serves the binary protocol until
+SIGTERM/SIGINT, then drains gracefully: the listener closes, busy sessions
+finish their current request, stragglers are cancelled through their
+cooperative tokens, and the service sheds what never started.
+
+The first line printed to stdout is ``listening on HOST:PORT`` so wrappers
+(CI smoke, benchmarks) can discover an ephemeral port; the last is
+``server drained cleanly``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from typing import Optional
+
+from repro import GraphDatabase
+from repro.server.server import Server, ServerConfig
+from repro.service import QueryService, ServiceConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="pathindex-repro network server (binary protocol)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=7687, help="TCP port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--data",
+        help="durable database directory (WAL + checkpoints); omit for an "
+        "in-memory database",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="query service worker threads"
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admission-control queue depth before shedding",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("row", "batched", "compiled"),
+        help="execution engine (default: database default)",
+    )
+    parser.add_argument(
+        "--default-deadline-s",
+        type=float,
+        help="deadline applied to queries that specify none",
+    )
+    parser.add_argument(
+        "--auth-token",
+        help="require this token in each session's HELLO",
+    )
+    parser.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=64,
+        help="rows per streamed RECORD frame",
+    )
+    return parser
+
+
+async def _serve(server: Server, host_hint: str) -> None:
+    host, port = await server.start()
+    print(f"listening on {host}:{port}", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    await stop.wait()
+    print("draining...", flush=True)
+    await server.drain()
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.data:
+        db = GraphDatabase.open(args.data)
+    else:
+        db = GraphDatabase()
+    service = QueryService(
+        db,
+        ServiceConfig(
+            max_concurrency=args.workers,
+            max_pending=args.max_pending,
+            execution_mode=args.mode,
+            default_deadline_s=args.default_deadline_s,
+        ),
+    )
+    server = Server(
+        service,
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            auth_token=args.auth_token,
+            chunk_rows=args.chunk_rows,
+        ),
+    )
+    try:
+        asyncio.run(_serve(server, args.host))
+    finally:
+        # Drain already cancelled straggling sessions' tokens; this sheds
+        # the queue and cancels anything still executing, so shutdown can
+        # never hang behind a slow query.
+        service.shutdown(cancel_pending=True)
+        db.close()
+    print("server drained cleanly", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

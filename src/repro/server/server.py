@@ -1,0 +1,691 @@
+"""The asyncio binary-protocol server fronting one :class:`QueryService`.
+
+One :class:`_Session` per TCP connection. Each session runs two coroutines:
+
+* a **read loop** that parses frames off the socket as fast as they arrive
+  and queues them (bounded), so requests *pipeline* — a client may write
+  HELLO RUN PULL RUN PULL back-to-back and the responses come back in
+  order — and so a client disconnect is noticed immediately, even while a
+  query of that session is still executing (its cancellation token is
+  triggered: disconnect → cooperative cancel at the next row boundary);
+* a **dispatch loop** that handles the queued requests strictly in order.
+
+Queries run through the shared :class:`~repro.service.QueryService`, so
+admission control, deadlines, write-conflict retry, memory grants and the
+slow-query watchdog all apply per remote session; service errors travel
+back as structured FAILURE frames (:func:`repro.wire.failure_fields`).
+
+Result rows stream in bounded chunks under **credit-based backpressure**:
+a PULL grants credit for ``n`` rows, the server sends at most that many
+(in ``chunk_rows``-sized RECORD frames, each followed by a socket drain
+bounded by ``write_buffer_high_bytes``), then parks the rest of the
+materialized, memory-governed result until the client asks again. A
+credit-exhausted pause is counted in ``server.backpressure_stalls``; a
+socket-buffer-full pause in ``server.drain_stalls``. A slow client
+therefore costs the server nothing beyond its own (already admitted and
+memory-accounted) result — other sessions stream unhindered.
+
+Metrics go to the service's :class:`~repro.service.MetricsRegistry` under
+the ``server.*`` prefix: sessions opened/closed, frames and bytes in/out,
+rows/bytes streamed, stalls, disconnect cancels, protocol errors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hmac
+import threading
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import wire
+from repro.errors import (
+    AuthenticationError,
+    ProtocolError,
+    QueryCancelledError,
+    ReproError,
+    ServiceShutdownError,
+)
+from repro.service import QueryOutcome, QueryService
+
+_EOF = object()
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs for a :class:`Server`."""
+
+    host: str = "127.0.0.1"
+    """Interface to bind (loopback by default; this is a reproduction, not
+    a hardened daemon)."""
+
+    port: int = 7687
+    """TCP port; ``0`` binds an ephemeral port (see :attr:`Server.address`)."""
+
+    auth_token: Optional[str] = None
+    """When set, HELLO must carry ``auth.token`` equal to this value or the
+    session is rejected with :class:`AuthenticationError`."""
+
+    chunk_rows: int = 64
+    """Rows per RECORD frame while streaming a result."""
+
+    handshake_timeout_s: float = 10.0
+    """How long a fresh connection may take to send HELLO."""
+
+    request_queue_frames: int = 64
+    """Pipelined requests buffered per session before the read loop stops
+    reading (TCP backpressure onto the client)."""
+
+    write_buffer_high_bytes: int = 1 << 16
+    """Transport write-buffer high-water mark; streaming pauses (and counts
+    a ``server.drain_stalls``) whenever the socket buffer exceeds it."""
+
+    drain_timeout_s: float = 10.0
+    """Graceful-drain budget: on :meth:`Server.drain`, busy sessions get
+    this long to finish their current request/stream before their queries
+    are cancelled and their connections closed."""
+
+    wait_threads: int = 64
+    """Threads used to await blocking service tickets (each busy session
+    parks one; they spend their life blocked on an event, so this merely
+    caps concurrently *awaited* queries, not executed ones)."""
+
+    def __post_init__(self) -> None:
+        if self.chunk_rows < 1:
+            raise ValueError("chunk_rows must be positive")
+        if self.request_queue_frames < 1:
+            raise ValueError("request_queue_frames must be positive")
+        if self.wait_threads < 1:
+            raise ValueError("wait_threads must be positive")
+
+
+class Server:
+    """Asyncio TCP front door over one :class:`QueryService`."""
+
+    def __init__(
+        self, service: QueryService, config: Optional[ServerConfig] = None
+    ) -> None:
+        self.service = service
+        self.config = config or ServerConfig()
+        self.metrics = service.metrics
+        self._sessions: set["_Session"] = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._draining = False
+        self._next_session = 0
+        self.address: Optional[tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.wait_threads,
+            thread_name_prefix="repro-server-wait",
+        )
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self.address
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    @property
+    def sessions_open(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, let busy sessions finish
+        their current request (up to ``drain_timeout_s``), then cancel
+        stragglers' queries and close every connection."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        for session in list(self._sessions):
+            session.poke_drain()
+        deadline = loop.time() + self.config.drain_timeout_s
+        while self._sessions and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        for session in list(self._sessions):
+            self.metrics.counter("server.drain_aborts").inc()
+            session.abort()
+        # Aborted transports unwind promptly; bound the wait regardless.
+        deadline = loop.time() + 5.0
+        while self._sessions and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._next_session += 1
+        session = _Session(self, self._next_session, reader, writer)
+        self._sessions.add(session)
+        self.metrics.counter("server.sessions_opened").inc()
+        try:
+            await session.run()
+        finally:
+            self._sessions.discard(session)
+            self.metrics.counter("server.sessions_closed").inc()
+
+
+class _OpenResult:
+    """A completed query's rows, parked server-side awaiting PULL credit."""
+
+    def __init__(self, outcome: QueryOutcome) -> None:
+        self.outcome = outcome
+        self.columns = outcome.columns
+        self._cursor = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.outcome.rows) - self._cursor
+
+    def next_chunk(self, limit: int) -> list[list]:
+        rows = self.outcome.rows[self._cursor : self._cursor + limit]
+        self._cursor += len(rows)
+        return [
+            [wire.wire_value(row.get(column)) for column in self.columns]
+            for row in rows
+        ]
+
+    def summary(self) -> dict:
+        outcome = self.outcome
+        return {
+            "has_more": False,
+            "rows_total": outcome.row_count,
+            "planning_seconds": outcome.planning_seconds,
+            "execution_seconds": outcome.execution_seconds,
+            "queue_seconds": outcome.queue_seconds,
+            "total_seconds": outcome.total_seconds,
+            "attempts": outcome.attempts,
+            "max_intermediate_cardinality": outcome.max_intermediate_cardinality,
+            "page_cache_hits": outcome.page_cache_hits,
+            "page_cache_misses": outcome.page_cache_misses,
+            "peak_memory_bytes": outcome.peak_memory_bytes,
+            "spill_runs": outcome.spill_runs,
+            "commit_lsn": outcome.commit_lsn,
+        }
+
+
+class _Session:
+    """One connection: handshake, pipelined dispatch, streamed results."""
+
+    def __init__(
+        self,
+        server: Server,
+        session_id: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.server = server
+        self.session_id = session_id
+        self.config = server.config
+        self.metrics = server.metrics
+        self._reader = reader
+        self._writer = writer
+        self._requests: asyncio.Queue = asyncio.Queue(
+            maxsize=self.config.request_queue_frames
+        )
+        self._statements: dict[int, str] = {}
+        self._next_statement = 1
+        self._result: Optional[_OpenResult] = None
+        self._ticket = None
+        self._busy = False
+        self._disconnected = False
+        transport = writer.transport
+        if transport is not None:
+            transport.set_write_buffer_limits(
+                high=self.config.write_buffer_high_bytes
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def run(self) -> None:
+        read_task: Optional[asyncio.Task] = None
+        try:
+            if not await self._handshake():
+                return
+            read_task = asyncio.get_running_loop().create_task(self._read_loop())
+            while True:
+                item = await self._requests.get()
+                if item is _EOF:
+                    break
+                if isinstance(item, ProtocolError):
+                    await self._send_failure(item)
+                    break
+                tag, fields = item
+                if tag == wire.MSG_GOODBYE:
+                    break
+                self._busy = True
+                try:
+                    await self._dispatch(tag, fields)
+                finally:
+                    self._busy = False
+                if self.server.draining and self._result is None:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if read_task is not None:
+                read_task.cancel()
+            self._cancel_inflight()
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def poke_drain(self) -> None:
+        """Drain notification: close now if idle, else let the dispatch
+        loop finish the current request/stream first."""
+        if not self._busy and self._result is None:
+            self._writer.close()
+
+    def abort(self) -> None:
+        """Hard close: cancel the in-flight query and drop the transport."""
+        self._cancel_inflight()
+        self._writer.close()
+
+    def _cancel_inflight(self) -> None:
+        ticket = self._ticket
+        if ticket is not None and not ticket.done:
+            self.metrics.counter("server.disconnect_cancels").inc()
+            ticket.cancel()
+
+    # ------------------------------------------------------------------
+    # Frame I/O
+    # ------------------------------------------------------------------
+
+    async def _read_frame(self) -> Optional[tuple[int, dict]]:
+        """One decoded frame, or None on clean EOF."""
+        try:
+            header = await self._reader.readexactly(wire.FRAME_HEADER.size)
+        except asyncio.IncompleteReadError as exc:
+            if exc.partial:
+                raise ProtocolError(
+                    "connection closed mid-frame header"
+                ) from exc
+            return None
+        length, crc = wire.FRAME_HEADER.unpack(header)
+        if length == 0 or length > wire.MAX_FRAME_BYTES:
+            raise ProtocolError(f"implausible frame length {length}")
+        try:
+            payload = await self._reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError("connection closed mid-frame") from exc
+        if zlib.crc32(payload) != crc:
+            raise ProtocolError("frame CRC mismatch")
+        self.metrics.counter("server.frames_in").inc()
+        self.metrics.counter("server.bytes_in").inc(
+            wire.FRAME_HEADER.size + length
+        )
+        return wire.decode_payload(payload)
+
+    async def _read_loop(self) -> None:
+        """Parse frames as they arrive; notices disconnects immediately and
+        cancels the in-flight query (client gone → token cancel)."""
+        try:
+            while True:
+                frame = await self._read_frame()
+                if frame is None:
+                    break
+                await self._requests.put(frame)
+        except ProtocolError as exc:
+            self.metrics.counter("server.protocol_errors").inc()
+            self._disconnected = True
+            self._cancel_inflight()
+            await self._requests.put(exc)
+            return
+        except (ConnectionError, OSError):
+            pass
+        self._disconnected = True
+        self._cancel_inflight()
+        await self._requests.put(_EOF)
+
+    async def _send(self, tag: int, fields: dict) -> None:
+        data = wire.encode_frame(tag, fields)
+        self._writer.write(data)
+        self.metrics.counter("server.frames_out").inc()
+        self.metrics.counter("server.bytes_out").inc(len(data))
+        transport = self._writer.transport
+        if (
+            transport is not None
+            and transport.get_write_buffer_size()
+            > self.config.write_buffer_high_bytes
+        ):
+            self.metrics.counter("server.drain_stalls").inc()
+        await self._writer.drain()
+
+    async def _send_failure(self, exc: BaseException) -> None:
+        self.metrics.counter("server.failures_sent").inc()
+        try:
+            await self._send(wire.MSG_FAILURE, wire.failure_fields(exc))
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Handshake
+    # ------------------------------------------------------------------
+
+    async def _handshake(self) -> bool:
+        try:
+            frame = await asyncio.wait_for(
+                self._read_frame(), timeout=self.config.handshake_timeout_s
+            )
+        except (asyncio.TimeoutError, ProtocolError, ConnectionError):
+            self.metrics.counter("server.handshakes_failed").inc()
+            return False
+        if frame is None or frame[0] != wire.MSG_HELLO:
+            self.metrics.counter("server.handshakes_failed").inc()
+            if frame is not None:
+                await self._send_failure(
+                    ProtocolError("first message must be HELLO")
+                )
+            return False
+        fields = frame[1]
+        versions = fields.get("versions")
+        if not isinstance(versions, list):
+            versions = []
+        common = [v for v in wire.SUPPORTED_VERSIONS if v in versions]
+        if not common:
+            self.metrics.counter("server.handshakes_failed").inc()
+            await self._send_failure(
+                ProtocolError(
+                    f"no common protocol version (server speaks "
+                    f"{list(wire.SUPPORTED_VERSIONS)}, client offered "
+                    f"{versions})"
+                )
+            )
+            return False
+        expected = self.config.auth_token
+        if expected is not None:
+            auth = fields.get("auth")
+            token = auth.get("token") if isinstance(auth, dict) else None
+            if not isinstance(token, str) or not hmac.compare_digest(
+                token, expected
+            ):
+                self.metrics.counter("server.auth_rejections").inc()
+                await self._send_failure(
+                    AuthenticationError("invalid or missing auth token")
+                )
+                return False
+        await self._send(
+            wire.MSG_SUCCESS,
+            {
+                "version": max(common),
+                "server": _server_banner(),
+                "session": self.session_id,
+            },
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, tag: int, fields: dict) -> None:
+        if tag == wire.MSG_RUN:
+            await self._on_run(fields)
+        elif tag == wire.MSG_PULL:
+            await self._on_pull(fields)
+        elif tag == wire.MSG_DISCARD:
+            await self._on_discard()
+        elif tag == wire.MSG_PREPARE:
+            await self._on_prepare(fields)
+        elif tag == wire.MSG_RESET:
+            await self._on_reset()
+        elif tag == wire.MSG_HELLO:
+            await self._send_failure(ProtocolError("session already started"))
+        else:
+            await self._send_failure(
+                ProtocolError(
+                    f"unexpected {wire.MESSAGE_NAMES[tag]} message from client"
+                )
+            )
+
+    def _resolve_query(self, fields: dict) -> str:
+        statement = fields.get("stmt")
+        if statement is not None:
+            query = self._statements.get(statement)
+            if query is None:
+                raise ProtocolError(f"unknown prepared statement id {statement}")
+            return query
+        query = fields.get("query")
+        if not isinstance(query, str) or not query:
+            raise ProtocolError("RUN needs a 'query' string or a 'stmt' id")
+        return query
+
+    async def _on_run(self, fields: dict) -> None:
+        if self._result is not None:
+            await self._send_failure(
+                ProtocolError(
+                    "previous result still open — PULL or DISCARD it first"
+                )
+            )
+            return
+        if self.server.draining:
+            await self._send_failure(
+                ServiceShutdownError("server is draining")
+            )
+            return
+        try:
+            query = self._resolve_query(fields)
+        except ProtocolError as exc:
+            await self._send_failure(exc)
+            return
+        deadline = fields.get("deadline_s")
+        if deadline is not None and not isinstance(deadline, (int, float)):
+            await self._send_failure(ProtocolError("deadline_s must be a number"))
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            ticket = self.server.service.submit(query, deadline_s=deadline)
+        except ReproError as exc:
+            await self._send_failure(exc)
+            return
+        self._ticket = ticket
+        try:
+            outcome = await loop.run_in_executor(
+                self.server._executor, ticket.result
+            )
+        except QueryCancelledError as exc:
+            self._ticket = None
+            if self._disconnected:
+                return  # nobody is listening
+            await self._send_failure(exc)
+            return
+        except BaseException as exc:  # noqa: BLE001 - report to the client
+            self._ticket = None
+            await self._send_failure(exc)
+            return
+        self._ticket = None
+        self._result = _OpenResult(outcome)
+        self.metrics.counter("server.queries").inc()
+        await self._send(wire.MSG_SUCCESS, {"columns": outcome.columns})
+
+    async def _on_prepare(self, fields: dict) -> None:
+        query = fields.get("query")
+        if not isinstance(query, str) or not query:
+            await self._send_failure(ProtocolError("PREPARE needs a 'query'"))
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            cached = await loop.run_in_executor(
+                self.server._executor,
+                lambda: self.server.service.db.prepare(query),
+            )
+        except ReproError as exc:
+            await self._send_failure(exc)
+            return
+        statement = self._next_statement
+        self._next_statement += 1
+        self._statements[statement] = query
+        self.metrics.counter("server.prepares").inc()
+        await self._send(
+            wire.MSG_SUCCESS,
+            {
+                "stmt": statement,
+                "columns": cached.columns,
+                "is_write": cached.analyzed.is_write,
+            },
+        )
+
+    async def _on_pull(self, fields: dict) -> None:
+        result = self._result
+        if result is None:
+            await self._send_failure(ProtocolError("no open result to PULL"))
+            return
+        credit = fields.get("n", -1)
+        if not isinstance(credit, int) or (credit < 1 and credit != -1):
+            await self._send_failure(
+                ProtocolError("PULL credit 'n' must be a positive int or -1")
+            )
+            return
+        remaining = None if credit == -1 else credit
+        while result.remaining and (remaining is None or remaining > 0):
+            take = self.config.chunk_rows
+            if remaining is not None:
+                take = min(take, remaining)
+            chunk = result.next_chunk(take)
+            frame = wire.encode_frame(wire.MSG_RECORD, {"rows": chunk})
+            self.metrics.counter("server.stream_chunks").inc()
+            self.metrics.counter("server.records_streamed").inc(len(chunk))
+            self.metrics.counter("server.bytes_streamed").inc(len(frame))
+            self.metrics.counter("server.frames_out").inc()
+            self.metrics.counter("server.bytes_out").inc(len(frame))
+            self._writer.write(frame)
+            transport = self._writer.transport
+            if (
+                transport is not None
+                and transport.get_write_buffer_size()
+                > self.config.write_buffer_high_bytes
+            ):
+                self.metrics.counter("server.drain_stalls").inc()
+            await self._writer.drain()
+            if remaining is not None:
+                remaining -= len(chunk)
+        if result.remaining:
+            # Credit exhausted with rows still parked: the client paces us.
+            self.metrics.counter("server.backpressure_stalls").inc()
+            await self._send(wire.MSG_SUCCESS, {"has_more": True})
+        else:
+            self._result = None
+            await self._send(wire.MSG_SUCCESS, result.summary())
+
+    async def _on_discard(self) -> None:
+        result = self._result
+        if result is None:
+            await self._send_failure(ProtocolError("no open result to DISCARD"))
+            return
+        self._result = None
+        self.metrics.counter("server.discards").inc()
+        summary = result.summary()
+        summary["discarded"] = result.remaining
+        await self._send(wire.MSG_SUCCESS, summary)
+
+    async def _on_reset(self) -> None:
+        self._result = None
+        self.metrics.counter("server.resets").inc()
+        await self._send(wire.MSG_SUCCESS, {})
+
+
+def _server_banner() -> str:
+    from repro import __version__
+
+    return f"pathindex-repro/{__version__}"
+
+
+class BackgroundServer:
+    """A :class:`Server` whose event loop runs in a daemon thread.
+
+    The blocking-world adapter used by tests, the ``--network`` benchmark
+    and embedders: ``start()`` returns the bound address, ``stop()`` drains
+    gracefully and joins the thread. The caller still owns the service and
+    database lifecycle.
+    """
+
+    def __init__(
+        self, service: QueryService, config: Optional[ServerConfig] = None
+    ) -> None:
+        self.server = Server(service, config)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self.server.address is not None, "server not started"
+        return self.server.address
+
+    @property
+    def metrics(self):
+        return self.server.metrics
+
+    def start(self) -> tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server failed to start within 30s")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self.address
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        try:
+            await self.server.start()
+        except BaseException as exc:  # noqa: BLE001 - surface to start()
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.server.drain()
+
+    def stop(self) -> None:
+        """Drain the server and join its loop thread (idempotent)."""
+        thread = self._thread
+        if thread is None or not thread.is_alive():
+            return
+        loop, stop_event = self._loop, self._stop_event
+        if loop is not None and stop_event is not None:
+            try:
+                loop.call_soon_threadsafe(stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        thread.join(timeout=30)
+
+    def __enter__(self) -> "BackgroundServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

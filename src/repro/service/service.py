@@ -161,6 +161,10 @@ class QueryOutcome:
     page_cache_misses: int = 0
     peak_memory_bytes: int = 0
     spill_runs: int = 0
+    commit_lsn: Optional[int] = None
+    """Log sequence number of the commit a write query produced (a
+    read-your-writes token); ``None`` for reads, non-durable databases,
+    and writes that changed nothing."""
 
     @property
     def row_count(self) -> int:
@@ -351,16 +355,18 @@ class QueryService:
         """Stop admitting queries and drain workers (idempotent).
 
         By default queued queries still execute before the workers exit.
-        With ``cancel_pending=True`` the pending queue is shed instead:
+        With ``cancel_pending=True`` the pending queue is shed instead —
         queued tickets fail immediately with
-        :class:`ServiceShutdownError`, so shutdown never waits behind work
-        that has not started (running queries always finish — cancel their
-        tickets first if they should not).
+        :class:`ServiceShutdownError` — *and* every in-flight query's
+        cancellation token is triggered, so shutdown can never hang behind
+        a slow query (it stops at its next row/morsel boundary and its
+        ticket fails with :class:`~repro.errors.QueryCancelledError`).
         """
         with self._lock:
             first = not self._shutdown
             self._shutdown = True
             shed: list[QueryTicket] = []
+            cancelled_running: list[QueryTicket] = []
             if cancel_pending:
                 sentinels = 0
                 while True:
@@ -375,6 +381,11 @@ class QueryService:
                 self._pending_count -= len(shed)
                 for _ in range(sentinels):
                     self._pending.put(_SHUTDOWN)
+                cancelled_running = [
+                    ticket
+                    for ticket, _ in self._running.values()
+                    if not ticket.token.cancelled
+                ]
             if first:
                 # The queue is unbounded, so these puts cannot block even
                 # when max_pending tickets are still queued ahead of them.
@@ -386,6 +397,9 @@ class QueryService:
                 ServiceShutdownError("query service shut down before start"),
                 QueryStatus.CANCELLED,
             )
+        for ticket in cancelled_running:
+            self.metrics.counter("service.cancelled_on_shutdown").inc()
+            ticket.token.cancel()
         if first:
             self.db.plan_cache.unsubscribe(self._plan_cache_event)
             self.db.memory_pool.unbind_metrics(self.metrics)
@@ -702,6 +716,7 @@ class QueryService:
             max_intermediate_cardinality=result.max_intermediate_cardinality,
             page_cache_hits=delta.hits,
             page_cache_misses=delta.misses,
+            commit_lsn=result.commit_lsn,
         )
 
     @staticmethod

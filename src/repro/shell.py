@@ -26,10 +26,16 @@ Inside the REPL, statements end with ``;``. Meta-commands:
                                 counters (see GraphDatabase(memory_budget=...))
     :checkpoint                 durable databases: snapshot + truncate the WAL
     :save <dir> / :load <dir>   snapshot persistence
+    :connect <host:port> [token]    switch to a remote server
+                                    (``python -m repro.server``); queries now
+                                    run over the wire protocol
+    :disconnect                 drop the remote connection, back to local
 
 Queries run through a :class:`repro.service.QueryService` (a 2-worker
 instance), so ``:metrics`` reflects real service traffic: latency
 histograms, plan-cache hits, page-cache deltas, retries, timeouts.
+While ``:connect``-ed, queries go to the remote server instead and
+local-only meta-commands are refused until ``:disconnect``.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ import sys
 from typing import IO, Optional
 
 from repro import GraphDatabase, ReproError
+from repro.client import Client
 from repro.db.snapshot import load_snapshot, save_snapshot
 from repro.service import QueryService, ServiceConfig
 
@@ -58,9 +65,13 @@ class Shell:
         self.explain = False
         self.running = True
         self.service = QueryService(self.db, ServiceConfig(max_concurrency=2))
+        self.remote: Optional[Client] = None
 
     def close(self) -> None:
-        """Shut down the query service (idempotent)."""
+        """Shut down the query service and any remote connection (idempotent)."""
+        if self.remote is not None:
+            self.remote.close()
+            self.remote = None
         self.service.shutdown()
 
     # ------------------------------------------------------------------
@@ -92,10 +103,13 @@ class Shell:
 
     def execute(self, query: str) -> None:
         try:
-            if self.explain:
-                self.println(self.db.explain(query))
-            outcome = self.service.execute(query)
-        except ReproError as exc:
+            if self.remote is not None:
+                outcome = self.remote.execute(query)
+            else:
+                if self.explain:
+                    self.println(self.db.explain(query))
+                outcome = self.service.execute(query)
+        except (ReproError, OSError) as exc:
             self.println(f"error: {exc}")
             return
         if outcome.columns:
@@ -129,13 +143,26 @@ class Shell:
             ":checkpoint": self._cmd_checkpoint,
             ":save": self._cmd_save,
             ":load": self._cmd_load,
+            ":connect": self._cmd_connect,
+            ":disconnect": self._cmd_disconnect,
         }.get(command)
         if handler is None:
             self.println(f"unknown command {command!r} — :help for commands")
             return
+        if self.remote is not None and command not in (
+            ":help",
+            ":quit",
+            ":exit",
+            ":connect",
+            ":disconnect",
+        ):
+            self.println(
+                f"{command} acts on the local database — :disconnect first"
+            )
+            return
         try:
             handler(argument)
-        except ReproError as exc:
+        except (ReproError, OSError) as exc:
             self.println(f"error: {exc}")
 
     # ------------------------------------------------------------------
@@ -315,6 +342,36 @@ class Shell:
         self.db = load_snapshot(argument)
         self.service = QueryService(self.db, ServiceConfig(max_concurrency=2))
         self.println(f"snapshot loaded from {argument}")
+
+    def _cmd_connect(self, argument: str) -> None:
+        address, _, token = argument.partition(" ")
+        host, _, port_text = address.rpartition(":")
+        if not host or not port_text.isdigit():
+            self.println("usage: :connect <host:port> [auth-token]")
+            return
+        if self.remote is not None:
+            self.remote.close()
+            self.remote = None
+        try:
+            self.remote = Client(
+                host, int(port_text), auth_token=token.strip() or None
+            )
+        except (ReproError, OSError) as exc:
+            self.println(f"error: {exc}")
+            return
+        self.println(
+            f"connected to {self.remote.server_info or address} at {address} "
+            f"(protocol v{self.remote.protocol_version}); "
+            "queries now run remotely — :disconnect to return to local"
+        )
+
+    def _cmd_disconnect(self, argument: str) -> None:
+        if self.remote is None:
+            self.println("not connected")
+            return
+        self.remote.close()
+        self.remote = None
+        self.println("disconnected — queries run on the local database again")
 
 
 def main(argv: Optional[list[str]] = None) -> int:

@@ -1,0 +1,260 @@
+"""The binary wire protocol shared by :mod:`repro.server` and :mod:`repro.client`.
+
+A Bolt-flavoured, length-framed message protocol whose payloads reuse the
+tagged value codec of :mod:`repro.durability.encoding` (one tag byte per
+value, LEB128 varints, zigzag ints) — the same bytes a transaction writes to
+the WAL travel the network unchanged. Every frame is::
+
+    <u32 little-endian payload length> <u32 crc32(payload)> <payload>
+
+    payload = <message tag byte> <fields as one codec-encoded dict>
+
+The CRC makes corruption detection deterministic: flipping any byte of a
+frame (header or payload) yields a clean :class:`~repro.errors.ProtocolError`
+instead of a silently mis-decoded message, mirroring the WAL's framing
+guarantees (``tests/test_durability_log.py``).
+
+Message flow (client → server requests, server → client responses):
+
+=============  ==========================================================
+``HELLO``      first frame of a session: ``{"versions": [1], "auth":
+               {"token": ...}, "client": name}`` → ``SUCCESS {"version",
+               "server"}`` or ``FAILURE`` (version/auth rejection)
+``PREPARE``    ``{"query"}`` → ``SUCCESS {"stmt", "columns", "is_write"}``
+``RUN``        ``{"query"}`` or ``{"stmt"}``, optional ``deadline_s`` →
+               ``SUCCESS {"columns"}`` opens the session's result
+``PULL``       ``{"n": credit}`` (−1 = all): up to ``n`` rows stream as
+               ``RECORD {"rows": [[...], ...]}`` chunks, then ``SUCCESS
+               {"has_more": bool, …summary}`` — credit-based backpressure
+``DISCARD``    drop the open result → ``SUCCESS {summary}``
+``RESET``      clear session state (open result) → ``SUCCESS {}``
+``GOODBYE``    close the session (no response)
+=============  ==========================================================
+
+Requests may be pipelined: a client can write many frames back-to-back; the
+server processes them strictly in order and answers in order. ``FAILURE``
+frames are structured errors: ``{"code": exception class name, "message",
+"retryable"}``; :func:`raise_failure` re-raises the matching
+:mod:`repro.errors` class on the client.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any, Optional
+
+from repro import errors
+from repro.durability.encoding import read_value, write_value
+from repro.errors import (
+    DurabilityError,
+    MemoryLimitExceeded,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+    TransactionError,
+)
+
+PROTOCOL_VERSION = 1
+"""The protocol revision this build speaks (HELLO negotiates the highest
+version common to both ends)."""
+
+SUPPORTED_VERSIONS = (1,)
+
+MAX_FRAME_BYTES = 16 << 20
+"""Upper bound on one frame's payload; larger lengths are rejected before
+any allocation so a corrupt or hostile header cannot balloon memory."""
+
+FRAME_HEADER = struct.Struct("<II")
+"""Payload length + CRC32 of the payload, matching the WAL's record framing."""
+
+# Client → server ----------------------------------------------------------
+MSG_HELLO = 0x01
+MSG_GOODBYE = 0x02
+MSG_RESET = 0x03
+MSG_PREPARE = 0x10
+MSG_RUN = 0x11
+MSG_PULL = 0x12
+MSG_DISCARD = 0x13
+# Server → client ----------------------------------------------------------
+MSG_SUCCESS = 0x70
+MSG_RECORD = 0x71
+MSG_FAILURE = 0x7F
+
+MESSAGE_NAMES = {
+    MSG_HELLO: "HELLO",
+    MSG_GOODBYE: "GOODBYE",
+    MSG_RESET: "RESET",
+    MSG_PREPARE: "PREPARE",
+    MSG_RUN: "RUN",
+    MSG_PULL: "PULL",
+    MSG_DISCARD: "DISCARD",
+    MSG_SUCCESS: "SUCCESS",
+    MSG_RECORD: "RECORD",
+    MSG_FAILURE: "FAILURE",
+}
+
+REQUEST_TAGS = frozenset(
+    (MSG_HELLO, MSG_GOODBYE, MSG_RESET, MSG_PREPARE, MSG_RUN, MSG_PULL, MSG_DISCARD)
+)
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(tag: int, fields: Optional[dict] = None) -> bytes:
+    """One complete frame (header + payload) for ``tag`` and ``fields``."""
+    if tag not in MESSAGE_NAMES:
+        raise ProtocolError(f"unknown message tag {tag:#x}")
+    payload = bytearray([tag])
+    try:
+        write_value(payload, fields if fields is not None else {})
+    except DurabilityError as exc:
+        raise ProtocolError(f"unencodable message field: {exc}") from exc
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload {len(payload)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + bytes(payload)
+
+
+def decode_payload(payload: bytes) -> tuple[int, dict]:
+    """Decode one verified payload into ``(tag, fields)``."""
+    if not payload:
+        raise ProtocolError("empty frame payload")
+    tag = payload[0]
+    if tag not in MESSAGE_NAMES:
+        raise ProtocolError(f"unknown message tag {tag:#x}")
+    try:
+        fields, end = read_value(payload, 1)
+    except DurabilityError as exc:
+        raise ProtocolError(f"malformed {MESSAGE_NAMES[tag]} fields: {exc}") from exc
+    if end != len(payload):
+        raise ProtocolError(
+            f"{len(payload) - end} trailing bytes after {MESSAGE_NAMES[tag]} fields"
+        )
+    if not isinstance(fields, dict):
+        raise ProtocolError(
+            f"{MESSAGE_NAMES[tag]} fields must be a map, got "
+            f"{type(fields).__name__}"
+        )
+    return tag, fields
+
+
+def wire_value(value: Any) -> Any:
+    """``value`` converted to something the codec can carry.
+
+    Row values are entity ids (ints) or plain property values, which the
+    codec covers directly; anything exotic degrades to its ``str`` form
+    rather than poisoning the whole result frame.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [wire_value(item) for item in value]
+    if isinstance(value, dict):
+        return {wire_value(key): wire_value(item) for key, item in value.items()}
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Incremental decoding (the blocking client; also exercised by tests)
+# ---------------------------------------------------------------------------
+
+
+class FrameReader:
+    """Incremental frame parser: :meth:`feed` bytes, :meth:`pop` messages.
+
+    Raises :class:`ProtocolError` on any framing violation — implausible
+    length, CRC mismatch, malformed payload — and on :meth:`close` (EOF)
+    with a partial frame still buffered.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self._buffer = bytearray()
+        self._max = max_frame_bytes
+        self._closed = False
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buffer)
+
+    def pop(self) -> Optional[tuple[int, dict]]:
+        """The next complete ``(tag, fields)`` message, or None if more
+        bytes are needed."""
+        header_size = FRAME_HEADER.size
+        if len(self._buffer) < header_size:
+            return None
+        length, crc = FRAME_HEADER.unpack_from(self._buffer, 0)
+        if length == 0 or length > self._max:
+            raise ProtocolError(f"implausible frame length {length}")
+        if len(self._buffer) < header_size + length:
+            return None
+        payload = bytes(self._buffer[header_size : header_size + length])
+        if zlib.crc32(payload) != crc:
+            raise ProtocolError("frame CRC mismatch")
+        del self._buffer[: header_size + length]
+        return decode_payload(payload)
+
+    def close(self) -> None:
+        """Signal EOF; a partially buffered frame means a torn stream."""
+        self._closed = True
+        if self._buffer:
+            raise ProtocolError(
+                f"connection closed mid-frame ({len(self._buffer)} bytes buffered)"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Structured errors
+# ---------------------------------------------------------------------------
+
+_RETRYABLE = (ServiceOverloadedError, MemoryLimitExceeded, TransactionError)
+
+
+def failure_fields(exc: BaseException) -> dict:
+    """The FAILURE frame fields describing ``exc``."""
+    return {
+        "code": type(exc).__name__,
+        "message": str(exc) or type(exc).__name__,
+        "retryable": isinstance(exc, _RETRYABLE),
+    }
+
+
+def _error_registry() -> dict[str, type]:
+    registry = {}
+    for name in dir(errors):
+        candidate = getattr(errors, name)
+        if isinstance(candidate, type) and issubclass(candidate, ReproError):
+            registry[name] = candidate
+    return registry
+
+
+_ERROR_CLASSES = _error_registry()
+
+
+def failure_exception(fields: dict) -> ReproError:
+    """The exception a FAILURE frame describes, mapped back to the matching
+    :mod:`repro.errors` class (``ServiceError`` for unknown codes)."""
+    code = fields.get("code")
+    message = fields.get("message") or str(code)
+    cls = _ERROR_CLASSES.get(code) if isinstance(code, str) else None
+    if cls is None:
+        exc: ReproError = ServiceError(f"{code}: {message}")
+    else:
+        try:
+            exc = cls(message)
+        except TypeError:
+            exc = ServiceError(f"{code}: {message}")
+    exc.retryable = bool(fields.get("retryable"))  # type: ignore[attr-defined]
+    return exc
+
+
+def raise_failure(fields: dict) -> None:
+    raise failure_exception(fields)

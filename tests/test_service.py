@@ -385,19 +385,80 @@ def test_shutdown_cancel_pending_sheds_queued_work(big_db):
         time.sleep(0.001)
     queued = [service.submit("MATCH (n:P) RETURN n") for _ in range(4)]
     service.shutdown(wait=True, cancel_pending=True)
-    # The running query finishes; everything still queued fails fast.
-    blocker.result(timeout=60)
+    # The running query is cancelled through its token (shutdown never
+    # waits out a slow query); everything still queued fails fast.
+    with pytest.raises(QueryCancelledError):
+        blocker.result(timeout=60)
     shed = 0
     for ticket in queued:
-        if ticket.status is QueryStatus.CANCELLED:
-            with pytest.raises(ServiceShutdownError):
-                ticket.result(timeout=1)
+        if ticket.status is not QueryStatus.CANCELLED:
+            # Raced onto the worker before shutdown drained the queue —
+            # then its token was cancelled like the blocker's.
+            with pytest.raises(QueryCancelledError):
+                ticket.result(timeout=60)
+            continue
+        try:
+            ticket.result(timeout=1)
+        except ServiceShutdownError:
             shed += 1
-        else:  # raced onto the worker before shutdown drained the queue
-            ticket.result(timeout=60)
+        except QueryCancelledError:
+            pass  # started just before the queue was drained
     assert shed > 0
     counters = service.metrics_snapshot()["counters"]
     assert counters["service.shed_on_shutdown"] == shed
+    assert counters["service.cancelled_on_shutdown"] >= 1
+
+
+def test_shutdown_cancel_pending_cancels_in_flight_query(big_db):
+    """shutdown(cancel_pending=True) must not wait out a slow query: the
+    in-flight query's cancellation token fires and shutdown returns
+    promptly instead of hanging behind the full cross-product scan."""
+    full = len(big_db.execute(CROSS_QUERY).to_list())
+    service = QueryService(big_db, ServiceConfig(max_concurrency=1))
+    ticket = service.submit(CROSS_QUERY)
+    deadline = time.monotonic() + 30
+    while ticket.rows_produced == 0 and time.monotonic() < deadline:
+        time.sleep(0.001)
+    started = time.monotonic()
+    service.shutdown(wait=True, cancel_pending=True)
+    elapsed = time.monotonic() - started
+    with pytest.raises(QueryCancelledError):
+        ticket.result(timeout=1)
+    assert ticket.status is QueryStatus.CANCELLED
+    # Cancelled mid-scan, well short of the full result.
+    assert ticket.rows_produced < full
+    counters = service.metrics_snapshot()["counters"]
+    assert counters["service.cancelled_on_shutdown"] == 1
+    assert counters["service.cancellations"] == 1
+    # The cross-product takes whole seconds; a cooperative cancel at a row
+    # boundary returns in a small fraction of that.
+    assert elapsed < 30
+
+
+def test_commit_lsn_in_result_and_outcome(tmp_path):
+    """Writes against a durable database report their WAL commit LSN (the
+    read-your-writes token) on both Result and QueryOutcome; reads and
+    non-durable databases report None."""
+    db = GraphDatabase.open(str(tmp_path / "data"))
+    try:
+        first = db.execute("CREATE (:W {i: 1})")
+        second = db.execute("CREATE (:W {i: 2})")
+        assert isinstance(first.commit_lsn, int)
+        assert isinstance(second.commit_lsn, int)
+        assert second.commit_lsn > first.commit_lsn
+        assert db.execute("MATCH (n:W) RETURN n.i AS i").commit_lsn is None
+        with QueryService(db) as service:
+            outcome = service.execute("CREATE (:W {i: 3})")
+            assert isinstance(outcome.commit_lsn, int)
+            assert outcome.commit_lsn > second.commit_lsn
+            assert (
+                service.execute("MATCH (n:W) RETURN n.i AS i").commit_lsn
+                is None
+            )
+    finally:
+        db.close()
+    volatile = GraphDatabase()
+    assert volatile.execute("CREATE (:W {i: 1})").commit_lsn is None
 
 
 def test_shutdown_detaches_plan_cache_subscription(small_db):

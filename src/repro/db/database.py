@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Optional, Union
+from typing import Iterable, Iterator, Optional, Union
 
 from repro.cypher import analyze, parse
 from repro.db.plancache import CachedQuery, PlanCache
@@ -36,6 +37,7 @@ from repro.runtime import Executor
 from repro.storage import GraphStore, PageCache
 from repro.storage.graphstore import DEFAULT_DENSE_NODE_THRESHOLD
 from repro.storage.pagecache import DEFAULT_MISS_LATENCY_S, DEFAULT_PAGE_SIZE
+from repro.storage.versions import PENDING, Snapshot
 from repro.tx import Transaction, TransactionManager
 
 IndexCreationStats = InitializationStats
@@ -87,7 +89,10 @@ class GraphDatabase:
         self.execution_mode = execution_mode
         self.page_cache = PageCache(page_cache_pages, page_size, miss_latency_s)
         self.store = GraphStore(self.page_cache, dense_node_threshold)
-        self.indexes = PathIndexStore(self.page_cache)
+        self.indexes = PathIndexStore(self.page_cache, clock=self.store.mvcc)
+        # Commits stamp path-index overlay deltas with their LSN, and the
+        # version GC folds them into the trees when no snapshot is live.
+        self.store.register_publisher(self.indexes)
         self.tx_manager = TransactionManager(self.store)
         self.maintainer = PathIndexMaintainer(
             self.store,
@@ -205,6 +210,47 @@ class GraphDatabase:
     def begin(self) -> Transaction:
         """Open a transaction on the calling thread."""
         return self.tx_manager.begin()
+
+    # ------------------------------------------------------------------
+    # MVCC snapshots
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def snapshot(self) -> Iterator[Snapshot]:
+        """Pin the current committed state for lock-free reading.
+
+        Inside the block, every read on this thread — queries on any of
+        the three engines, direct store reads, index scans, statistics —
+        resolves at the snapshot's commit LSN, untouched by concurrent
+        writers. Acquiring a snapshot takes no lock; writers never wait
+        for readers and readers never wait for writers.
+        """
+        clock = self.store.mvcc
+        # Bulk loaders (dataset generators, restore helpers) write to the
+        # store directly outside any transaction, leaving PENDING versions
+        # with no commit to publish them. Adopt such orphans before
+        # pinning: when no writer is active the non-blocking acquire
+        # succeeds and we stamp them under a fresh LSN; when a writer IS
+        # active the pending versions belong to it and its own commit
+        # publishes them.
+        if self.store.has_pending_versions() and self.tx_manager.current() is None:
+            if clock.write_lock.acquire(blocking=False):
+                try:
+                    self.store.publish_commit()
+                finally:
+                    clock.write_lock.release()
+        snap = clock.acquire()
+        try:
+            with clock.reading(snap):
+                yield snap
+        finally:
+            clock.release(snap)
+
+    def vacuum_versions(self) -> dict[str, int]:
+        """Reclaim version chains and fold index deltas no live snapshot
+        can reach (runs automatically at checkpoints). Returns counters."""
+        with self.store.mvcc.exclusive_writer():
+            return self.store.collect_versions()
 
     def create_node(
         self,
@@ -396,8 +442,12 @@ class GraphDatabase:
     def _planned(self, query_text: str, hints: Optional[PlannerHints]) -> CachedQuery:
         """Plan a query, consulting the §4.1.1 query cache."""
         key = (query_text, hints)
-        signature = frozenset(self.indexes.names())
-        stats = self.store.statistics
+        # Visible names, not all names: a snapshot reader planning against
+        # an index attached after its LSN would read entries it must not
+        # see, and a cached plan from the pre-attach window must be
+        # invalidated once the index becomes visible.
+        signature = frozenset(self.indexes.visible_names())
+        stats = self.store.statistics_view()
         entry = self.plan_cache.lookup(
             key, stats.node_count, stats.relationship_count, signature
         )
@@ -456,33 +506,45 @@ class GraphDatabase:
         """
         if isinstance(pattern, str):
             pattern = PathPattern.parse(pattern)
-        index = self.indexes.create(name, pattern, partial=partial)
-        if self.durability is not None:
-            self.durability.log_ddl(
-                "create_index", name, str(pattern), partial, populate
-            )
-        if populate and not partial:
-            tracker = self.memory_pool.tracker(
-                label=f"index build: {name}", spill_manager=self.spill_manager
-            )
-            try:
-                return initialize_index(
-                    self.store, self.indexes, index, hints, tracker=tracker
+        # DDL is a writer: it serializes behind transactions on the store
+        # write lock and builds the index invisibly (created_lsn pending),
+        # writing the tree directly. Sealing attaches it at the current
+        # published LSN — snapshots pinned before that never see it, and
+        # from then on commits maintain it through versioned overlay
+        # deltas instead of mutating the shared tree.
+        with self.store.mvcc.exclusive_writer():
+            index = self.indexes.create(name, pattern, partial=partial)
+            index.created_lsn = PENDING
+            if self.durability is not None:
+                self.durability.log_ddl(
+                    "create_index", name, str(pattern), partial, populate
                 )
-            except BaseException:
-                # A build that blows the memory budget must not leave a
-                # half-populated index behind (nor a dangling WAL record).
-                self.drop_path_index(name)
-                raise
-            finally:
-                tracker.close()
-        return InitializationStats(
-            index_name=name,
-            cardinality=0,
-            size_on_disk=index.size_on_disk(),
-            total_data_size=0,
-            seconds=0.0,
-        )
+            if populate and not partial:
+                tracker = self.memory_pool.tracker(
+                    label=f"index build: {name}",
+                    spill_manager=self.spill_manager,
+                )
+                try:
+                    stats = initialize_index(
+                        self.store, self.indexes, index, hints, tracker=tracker
+                    )
+                except BaseException:
+                    # A build that blows the memory budget must not leave a
+                    # half-populated index behind (nor a dangling WAL record).
+                    self.drop_path_index(name)
+                    raise
+                finally:
+                    tracker.close()
+                index.seal(self.store.mvcc.published)
+                return stats
+            index.seal(self.store.mvcc.published)
+            return InitializationStats(
+                index_name=name,
+                cardinality=0,
+                size_on_disk=index.size_on_disk(),
+                total_data_size=0,
+                seconds=0.0,
+            )
 
     def create_relationship_type_index(self, type_name: str) -> InitializationStats:
         """The §6.1 baseline extension: a label-free single-relationship
@@ -491,9 +553,14 @@ class GraphDatabase:
         return self.create_path_index(name, f"()-[:{type_name}]->()")
 
     def drop_path_index(self, name: str) -> None:
-        self.indexes.drop(name)
-        if self.durability is not None:
-            self.durability.log_ddl("drop_index", name, "")
+        # Registry removal under the write lock; in-flight readers holding
+        # the index object keep scanning it safely (the tree is untouched),
+        # and the visible-names plan-cache signature invalidates their
+        # cached plans on the next lookup.
+        with self.store.mvcc.exclusive_writer():
+            self.indexes.drop(name)
+            if self.durability is not None:
+                self.durability.log_ddl("drop_index", name, "")
 
     def path_index(self, name: str) -> PathIndex:
         return self.indexes.get(name)

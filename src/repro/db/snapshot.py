@@ -224,6 +224,10 @@ def read_snapshot_state(db: GraphDatabase, path: Path) -> None:
             index.restore_materialized_starts(spec.get("materialized_starts", []))
         for entry in _read_jsonl(path / f"index_{spec['name']}.jsonl"):
             index.add(tuple(entry))
+        # Entries above went straight to the tree (unsealed); seal at the
+        # version base so WAL replay maintains the index through overlay
+        # deltas and the index is visible to every snapshot.
+        index.seal(0)
 
 
 def save_snapshot(db: GraphDatabase, directory: Union[str, Path]) -> Path:

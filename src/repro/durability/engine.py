@@ -132,6 +132,11 @@ class DurabilityEngine:
         # the database facade can return a read-your-writes LSN token with
         # each write query's result (see begin_lsn_capture/captured_lsn).
         self._lsn_capture = threading.local()
+        # Separate capture for the version-publish protocol: consumed
+        # (take-and-clear) exactly once per commit by publish_commit, so a
+        # stale sequence from an earlier commit on this thread can never
+        # stamp a later transaction's versions at an old LSN.
+        self._publish_capture = threading.local()
         self.commits_logged = 0
         self.fsync_count = 0
         self.synced_commits = 0
@@ -222,6 +227,10 @@ class DurabilityEngine:
                 apply_commit_record(db, body)
             else:
                 apply_ddl_record(db, body)
+            # Stamp the replayed versions at the WAL sequence they were
+            # originally committed under, so snapshot LSNs mean the same
+            # thing across restarts (read-your-writes tokens survive).
+            db.store.publish_commit(seq)
             last_seq = seq
 
         wal = WriteAheadLog(wal_path, injector)
@@ -238,6 +247,12 @@ class DurabilityEngine:
         )
         db.durability = engine
         db.tx_manager.register_applier(_WalApplier(engine))
+        # Version-publish protocol: commits stamp their MVCC versions with
+        # the exact WAL sequence log_commit assigned, and the clock's
+        # watermark starts at the replayed prefix's last sequence (DDL
+        # records publish nothing, so catch the watermark up here).
+        db.tx_manager.lsn_provider = engine.take_publish_lsn
+        db.store.mvcc.publish(last_seq)
         return db
 
     @staticmethod
@@ -277,7 +292,10 @@ class DurabilityEngine:
             labels = store.labels.all_tokens()
             types = store.types.all_tokens()
             keys = store.property_keys.all_tokens()
-            seq = self._seq + 1
+            # Rollbacks and bulk-import adoption mint LSNs straight from
+            # the version clock; keep WAL sequences strictly above them so
+            # no two distinct publishes ever share a commit LSN.
+            seq = max(self._seq, store.mvcc.published) + 1
             payload = encode_commit_record(
                 seq,
                 labels[self._logged_labels :],
@@ -292,6 +310,7 @@ class DurabilityEngine:
             self._logged_keys = len(keys)
             self.commits_logged += 1
         self._lsn_capture.seq = seq
+        self._publish_capture.seq = seq
         if self._defer(seq):
             return
         self.sync(seq)
@@ -309,7 +328,7 @@ class DurabilityEngine:
         """Log a path-index create/drop (replayed by re-running the DDL)."""
         self.injector.check()
         with self._lock:
-            seq = self._seq + 1
+            seq = max(self._seq, self.db.store.mvcc.published) + 1
             self._append(
                 encode_ddl_record(seq, kind, name, pattern, partial, populate), seq
             )
@@ -374,6 +393,15 @@ class DurabilityEngine:
         number (the read-your-writes token returned to clients)."""
         self._lsn_capture.seq = None
 
+    def take_publish_lsn(self) -> Optional[int]:
+        """The WAL sequence of the commit currently closing on this thread,
+        cleared on read. Installed as ``TransactionManager.lsn_provider``:
+        version publish stamps the commit's MVCC versions with it. None for
+        transactions that logged nothing (token-only commits)."""
+        seq = getattr(self._publish_capture, "seq", None)
+        self._publish_capture.seq = None
+        return seq
+
     def captured_lsn(self) -> Optional[int]:
         """The LSN of the last commit this thread logged since
         :meth:`begin_lsn_capture` (None if it logged nothing)."""
@@ -413,14 +441,18 @@ class DurabilityEngine:
     def checkpoint(self) -> None:
         """Write an atomic snapshot and truncate the log.
 
-        The caller must guarantee a quiescent store (the query service runs
-        this under its exclusive write lock; single-threaded embedded use
-        is quiescent by construction)."""
+        Takes the store's MVCC write lock itself (reentrant, so the
+        commit-path auto-checkpoint nests under the committing writer):
+        writers are excluded for the duration, while snapshot readers
+        continue unimpeded — they resolve against version chains the
+        checkpoint only reads. Afterwards, with the store quiescent,
+        version chains are vacuumed and index deltas folded.
+        """
         from repro.db.snapshot import write_snapshot_state
 
         injector = self.injector
         injector.check()
-        with self._lock:
+        with self.db.store.mvcc.exclusive_writer(), self._lock:
             injector.reach("checkpoint.before")
             next_id = self._checkpoint_id + 1
             tmp = self.directory / (_checkpoint_name(next_id) + ".tmp")
@@ -463,6 +495,10 @@ class DurabilityEngine:
             self._records_since_checkpoint = 0
             self._bytes_since_checkpoint = 0
             self.checkpoints_completed += 1
+            # Reclaim version chains behind the oldest live snapshot and
+            # fold stamped index deltas (skipped automatically while any
+            # snapshot is live). Already under the write lock here.
+            self.db.store.collect_versions()
 
     # ------------------------------------------------------------------
     # Lifecycle / introspection

@@ -11,6 +11,13 @@ traversal) and serves every later seek from the B+-tree.
 Maintenance integrates naturally with Algorithm 1: removals apply verbatim
 (absent entries are no-ops), additions are filtered to materialized start
 nodes (everything else will be recomputed on demand anyway).
+
+Under MVCC, materialization is a *latest-mode* operation: it mutates the
+shared index. A snapshot reader must not publish entries other snapshots
+could half-observe, and could not share them anyway (its traversal sees
+the graph at its own LSN) — so snapshot seeks materialize into a private
+per-snapshot cache (:attr:`Snapshot.partial_cache`) and serve prefix scans
+from it, leaving all shared state untouched.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from repro.pathindex.maintenance import traverse_pattern
 from repro.pathindex.pattern import PathPattern
 from repro.storage.graphstore import GraphStore
 from repro.storage.pagecache import PageCache
+from repro.storage.versions import VersionClock
 
 
 class PartialPathIndex(PathIndex):
@@ -36,8 +44,9 @@ class PartialPathIndex(PathIndex):
         name: str,
         pattern: PathPattern,
         page_cache: Optional[PageCache] = None,
+        clock: Optional[VersionClock] = None,
     ) -> None:
-        super().__init__(name, pattern, page_cache)
+        super().__init__(name, pattern, page_cache, clock=clock)
         self._materialized_starts: set[int] = set()
 
     # ------------------------------------------------------------------
@@ -51,13 +60,37 @@ class PartialPathIndex(PathIndex):
     def is_materialized(self, start_node: int) -> bool:
         return start_node in self._materialized_starts
 
+    def _ambient_snapshot(self):
+        if self.clock is None:
+            return None
+        return self.clock.ambient()
+
     def prepare_prefix(self, prefix: Sequence[int], store: GraphStore) -> None:
-        """Materialize the prefix's start node before a seek (runtime hook)."""
+        """Materialize the prefix's start node before a seek (runtime hook).
+
+        Latest-mode readers (writers, embedded use) materialize into the
+        shared index; snapshot readers compute the start's occurrences at
+        their own LSN into the snapshot's private cache.
+        """
         if not prefix:
             raise PathIndexError(
                 f"partial index {self.name!r} requires a non-empty seek prefix"
             )
-        self.materialize_start(int(prefix[0]), store)
+        start_node = int(prefix[0])
+        snapshot = self._ambient_snapshot()
+        if snapshot is None:
+            self.materialize_start(start_node, store)
+            return
+        key = (id(self), start_node)
+        if key in snapshot.partial_cache:
+            return
+        entries: list[tuple[int, ...]] = []
+        if store.node_exists(start_node):
+            anchor = NodeAnchor(0, start_node)
+            for entry in traverse_pattern(store, self.pattern, anchor):
+                entries.append(tuple(entry))
+        entries.sort()
+        snapshot.partial_cache[key] = entries
 
     def materialize_start(self, start_node: int, store: GraphStore) -> int:
         """Compute and insert all occurrences beginning at ``start_node``;
@@ -114,9 +147,38 @@ class PartialPathIndex(PathIndex):
             "use prefix seeks"
         )
 
+    def scan_prefix(self, prefix: Sequence[int]) -> Iterator[tuple[int, ...]]:
+        snapshot = self._ambient_snapshot()
+        if snapshot is not None:
+            prefix_tuple = tuple(int(value) for value in prefix)
+            cached = snapshot.partial_cache.get((id(self), prefix_tuple[0]))
+            if cached is not None:
+                width = len(prefix_tuple)
+                return (
+                    entry for entry in cached if entry[:width] == prefix_tuple
+                )
+        return super().scan_prefix(prefix)
+
+    def count_prefix(self, prefix: Sequence[int]) -> int:
+        snapshot = self._ambient_snapshot()
+        if snapshot is not None:
+            prefix_tuple = tuple(int(value) for value in prefix)
+            cached = snapshot.partial_cache.get((id(self), prefix_tuple[0]))
+            if cached is not None:
+                width = len(prefix_tuple)
+                return sum(
+                    1 for entry in cached if entry[:width] == prefix_tuple
+                )
+        return super().count_prefix(prefix)
+
     def scan_materialized(self) -> Iterator[tuple[int, ...]]:
-        """Everything currently materialized (diagnostics/tests)."""
-        return self.tree.scan()
+        """Everything currently materialized (diagnostics/tests); merges
+        unfolded overlay deltas at the reader's LSN."""
+        if not self._deltas:
+            return self.tree.scan()
+        return self._merged(
+            self.tree.scan(), self._overlay_at(self._reading_lsn())
+        )
 
     def __repr__(self) -> str:
         return (

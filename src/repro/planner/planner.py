@@ -35,8 +35,11 @@ class Planner:
     ) -> None:
         self.store = store
         self.index_store = index_store
+        # statistics_view resolves to the reader's snapshot (falling back
+        # to the live counters in latest mode), so a pinned reader plans
+        # against the statistics of its own LSN.
         self.estimator = CardinalityEstimator(
-            store.statistics, store.labels, store.types
+            store.statistics_view(), store.labels, store.types
         )
 
     def plan_part(

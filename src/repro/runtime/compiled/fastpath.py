@@ -15,6 +15,13 @@ touches the same page, in the same order, as the interpreted path would
 ``RecordStore._touch`` computes). Dense nodes keep using the store's
 group-chain iterator — their per-type chains are already selective, and
 duplicating that logic here would buy little.
+
+MVCC: each closure samples the thread's ambient snapshot LSN per
+invocation. Latest-mode reads (writers, embedded use) take the one-load
+``slot[1]`` path; snapshot reads resolve each slot against its version
+chain exactly like :meth:`RecordStore.try_read`, so compiled pipelines
+are byte-identical to the interpreted engines at any pinned LSN — with
+zero locking either way.
 """
 
 from __future__ import annotations
@@ -29,13 +36,15 @@ def make_expander(store: GraphStore):
     :meth:`GraphStore.expand` with the sparse chain walk inlined."""
     nodes_read = store.nodes.read
     rel_store = store.relationships
-    records = rel_store._records
+    slots = rel_store._records
+    history = rel_store._history
     file_name = rel_store.name
     record_size = rel_store.record_size
     page_cache = store.page_cache
     touch_page = page_cache.touch_page
     page_size = page_cache.page_size
     rels_of = store.relationships_of
+    reading_lsn = store.mvcc.reading_lsn
     incoming = Direction.INCOMING
     outgoing = Direction.OUTGOING
 
@@ -48,12 +57,25 @@ def make_expander(store: GraphStore):
                     rel.end_node if node_id == start else start
                 ), rel.type_id
             return
+        lsn = reading_lsn()
         out_ok = direction is not incoming
         in_ok = direction is not outgoing
         pointer = record.first_rel
         while pointer != -1:
             touch_page(file_name, pointer * record_size // page_size)
-            rel = records[pointer]
+            slot = slots[pointer]
+            if lsn is None:
+                rel = None if slot is None else slot[1]
+            elif slot is not None and slot[0] <= lsn:
+                rel = slot[1]
+            else:
+                rel = None
+                chain = history.get(pointer)
+                if chain is not None:
+                    for version_lsn, version in reversed(chain):
+                        if version_lsn <= lsn:
+                            rel = version
+                            break
             if rel is None:
                 raise RecordNotFoundError(
                     f"{file_name}: no record {pointer}"
@@ -85,14 +107,18 @@ def make_label_scanner(store: GraphStore):
     touch_page = page_cache.touch_page
     page_size = page_cache.page_size
     buckets = store._label_index
+    reading_lsn = store.mvcc.reading_lsn
 
     def scan(label_id):
         bucket = buckets.get(label_id)
         if bucket is None:
             return
-        for node_id in list(bucket):
-            touch_page(file_name, node_id * record_size // page_size)
-            yield node_id
+        lsn = reading_lsn()
+        value_at = bucket.value_at
+        for node_id in bucket.keys():
+            if value_at(node_id, lsn, False):
+                touch_page(file_name, node_id * record_size // page_size)
+                yield node_id
 
     return scan
 
@@ -101,16 +127,31 @@ def make_label_checker(store: GraphStore):
     """A closure ``has_label(node_id, label_id)`` — the compiled form of
     :meth:`GraphStore.has_label`, one page touch per check."""
     node_store = store.nodes
-    records = node_store._records
+    slots = node_store._records
+    history = node_store._history
     file_name = node_store.name
     record_size = node_store.record_size
     page_cache = store.page_cache
     touch_page = page_cache.touch_page
     page_size = page_cache.page_size
+    reading_lsn = store.mvcc.reading_lsn
 
     def has_label(node_id, label_id):
         touch_page(file_name, node_id * record_size // page_size)
-        record = records[node_id]
+        slot = slots[node_id]
+        lsn = reading_lsn()
+        if lsn is None:
+            record = None if slot is None else slot[1]
+        elif slot is not None and slot[0] <= lsn:
+            record = slot[1]
+        else:
+            record = None
+            chain = history.get(node_id)
+            if chain is not None:
+                for version_lsn, version in reversed(chain):
+                    if version_lsn <= lsn:
+                        record = version
+                        break
         if record is None:
             raise RecordNotFoundError(f"{file_name}: no record {node_id}")
         return label_id in record.labels

@@ -363,17 +363,13 @@ class _Session:
         await self._requests.put(_EOF)
 
     async def _send(self, tag: int, fields: dict) -> None:
+        # Control frames are small; drain-stall accounting only matters on
+        # the credit-based PULL stream (see _on_pull), which is where the
+        # write buffer can actually fill.
         data = wire.encode_frame(tag, fields)
         self._writer.write(data)
         self.metrics.counter("server.frames_out").inc()
         self.metrics.counter("server.bytes_out").inc(len(data))
-        transport = self._writer.transport
-        if (
-            transport is not None
-            and transport.get_write_buffer_size()
-            > self.config.write_buffer_high_bytes
-        ):
-            self.metrics.counter("server.drain_stalls").inc()
         await self._writer.drain()
 
     async def _send_failure(self, exc: BaseException) -> None:

@@ -14,12 +14,11 @@ behind a thread pool so many callers can execute Cypher concurrently:
   the pending queue counts against it.
 * **Write retry** — transient :class:`~repro.errors.TransactionError`
   conflicts on write queries are retried with exponential backoff under a
-  bounded attempt budget. Queries run under a
-  :class:`~repro.service.rwlock.ReadWriteLock`: reads share it (any number
-  run concurrently), writes hold it exclusively. The store's dicts have no
-  internal locking, so a read scanning concurrently with a committing
-  write would otherwise see torn state; the shared/exclusive bracket keeps
-  reads parallel with each other while isolating them from writes.
+  bounded attempt budget. Reads take no lock at all: every read query pins
+  an MVCC snapshot (:meth:`~repro.db.database.GraphDatabase.snapshot`) and
+  resolves records against per-record version chains at its commit LSN, so
+  any number of reads run concurrently *with each other and with writers*.
+  Writers serialize only with other writers, on the store's write lock.
 * **Resource governance** — before dispatch each query reserves a memory
   grant from the database's :class:`~repro.resources.MemoryPool`; when the
   pool is exhausted the query waits briefly, then is shed with
@@ -58,9 +57,13 @@ from repro.errors import (
 from repro.planner import PlannerHints
 from repro.service.cancellation import CancellationToken
 from repro.service.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
-from repro.service.rwlock import ReadWriteLock
 
 _SHUTDOWN = object()
+
+_VERSION_GC_WRITE_INTERVAL = 64
+"""Opportunistic version-GC cadence: after this many write queries the
+service reclaims version chains no live snapshot can reach (checkpoints
+also vacuum, so this only bounds growth between checkpoints)."""
 
 _GRANT_WAIT_S = 5.0
 """How long a deadline-less query waits at dispatch for a memory grant
@@ -94,10 +97,11 @@ class ServiceConfig:
     checkpoint_interval_s: Optional[float] = None
     """Background-checkpoint period for durable databases. When set (and
     the database was opened with ``GraphDatabase.open``), a checkpointer
-    thread periodically takes the exclusive write lock and compacts the
-    write-ahead log into a snapshot. ``None`` leaves checkpointing to the
-    engine's own record/byte thresholds and explicit :meth:`~repro.db.\
-database.GraphDatabase.checkpoint` calls."""
+    thread periodically compacts the write-ahead log into a snapshot; the
+    engine serializes with writers on the store's write lock while reads
+    continue against their MVCC snapshots. ``None`` leaves checkpointing
+    to the engine's own record/byte thresholds and explicit :meth:`~repro.\
+db.database.GraphDatabase.checkpoint` calls."""
 
     execution_mode: Optional[str] = None
     """Runtime engine for queries executed through the service:
@@ -247,7 +251,6 @@ class QueryService:
         # _pending_count under _lock, so shutdown's sentinel puts can never
         # block behind a full queue.
         self._pending: queue.Queue = queue.Queue()
-        self._rw_lock = ReadWriteLock()
         # _lock guards _shutdown, _pending_count and _in_flight, and makes
         # submit's shutdown-check + enqueue atomic against shutdown's
         # flag-set + drain + sentinel puts (a ticket can never land behind
@@ -266,6 +269,8 @@ class QueryService:
         # In-flight tickets (id -> (ticket, dispatch time)) for the
         # slow-query watchdog; guarded by _lock.
         self._running: dict[int, tuple[QueryTicket, float]] = {}
+        # Write-query countdown to the next opportunistic version GC.
+        self._writes_until_gc = _VERSION_GC_WRITE_INTERVAL
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -276,8 +281,9 @@ class QueryService:
         ]
         for worker in self._workers:
             worker.start()
-        # Background checkpointer for durable databases: runs under the
-        # exclusive write lock so the snapshot sees a quiescent store.
+        # Background checkpointer for durable databases: the engine takes
+        # the store's write lock itself, so writers pause while the
+        # snapshot is cut and snapshot readers continue unimpeded.
         self._checkpoint_stop = threading.Event()
         self._checkpointer: Optional[threading.Thread] = None
         if db.durability is not None and self.config.checkpoint_interval_s:
@@ -453,6 +459,12 @@ class QueryService:
                 "shutdown": self._shutdown,
             }
         snapshot["memory"] = self.db.memory_pool.snapshot()
+        mvcc = self.db.store.mvcc
+        snapshot["mvcc"] = {
+            "published_lsn": mvcc.published,
+            "live_snapshots": mvcc.live_count(),
+            **self.db.store.version_stats(),
+        }
         if self.db.durability is not None:
             snapshot["durability"] = self.db.durability.status()
         return snapshot
@@ -470,8 +482,9 @@ class QueryService:
         while not self._checkpoint_stop.wait(interval):
             try:
                 started = time.perf_counter()
-                with self._rw_lock.write_locked():
-                    self.db.durability.checkpoint()
+                # The engine serializes with writers on the store's write
+                # lock; reads continue against their snapshots throughout.
+                self.db.durability.checkpoint()
                 self.metrics.counter("durability.checkpoints").inc()
                 self.metrics.histogram("durability.checkpoint_seconds").observe(
                     time.perf_counter() - started
@@ -652,29 +665,19 @@ class QueryService:
         # in aggregate otherwise.
         before = db.page_cache.stats.snapshot()
         execution_started = time.perf_counter()
-        # The store's dicts have no internal locking, so execution AND the
-        # drain happen under the readers-writer lock: reads share it with
-        # each other but never overlap a committing write (which would
-        # raise "dictionary changed size during iteration" or tear rows).
+        # MVCC: reads pin a snapshot and resolve version chains at its
+        # commit LSN — no lock, no waiting on writers, no torn state.
+        # Writes serialize with other writes on the store's write lock,
+        # acquired inside the transaction itself (db.execute).
         durability = db.durability
         if is_write:
-            # Group commit: inside the exclusive lock the commit only
-            # *appends* its log record (deferred_sync); the fsync happens
-            # after the lock is released, so concurrent writers queue up
-            # behind one leader's fsync instead of each paying their own.
-            with self._rw_lock.write_locked():
-                if durability is not None:
-                    with durability.deferred_sync():
-                        result = db.execute(
-                            ticket.query,
-                            ticket.hints,
-                            token=ticket.token,
-                            prepared=cached,
-                            execution_mode=self.config.execution_mode,
-                            tracker=tracker,
-                        )
-                        rows = self._drain(result, ticket)
-                else:
+            # Group commit: while the transaction holds the write lock the
+            # commit only *appends* its log record (deferred_sync); the
+            # fsync happens after the lock is released, so concurrent
+            # writers queue up behind one leader's fsync instead of each
+            # paying their own.
+            if durability is not None:
+                with durability.deferred_sync():
                     result = db.execute(
                         ticket.query,
                         ticket.hints,
@@ -684,14 +687,7 @@ class QueryService:
                         tracker=tracker,
                     )
                     rows = self._drain(result, ticket)
-            if durability is not None:
-                sync_started = time.perf_counter()
-                durability.sync_pending()
-                self.metrics.histogram("durability.sync_seconds").observe(
-                    time.perf_counter() - sync_started
-                )
-        else:
-            with self._rw_lock.read_locked():
+            else:
                 result = db.execute(
                     ticket.query,
                     ticket.hints,
@@ -701,6 +697,31 @@ class QueryService:
                     tracker=tracker,
                 )
                 rows = self._drain(result, ticket)
+            if durability is not None:
+                sync_started = time.perf_counter()
+                durability.sync_pending()
+                self.metrics.histogram("durability.sync_seconds").observe(
+                    time.perf_counter() - sync_started
+                )
+            self._maybe_vacuum_versions()
+        else:
+            # Planning happened at latest (prepare); execution and drain
+            # resolve at the snapshot's LSN. Acquiring is a dict insert —
+            # readers never block writers and vice versa.
+            with db.snapshot() as snap:
+                self.metrics.counter("service.snapshot_reads").inc()
+                result = db.execute(
+                    ticket.query,
+                    ticket.hints,
+                    token=ticket.token,
+                    prepared=cached,
+                    execution_mode=self.config.execution_mode,
+                    tracker=tracker,
+                )
+                rows = self._drain(result, ticket)
+            self.metrics.histogram("service.snapshot_lag_lsns").observe(
+                db.store.mvcc.published - snap.lsn
+            )
         execution_seconds = time.perf_counter() - execution_started
         delta = db.page_cache.stats.delta_since(before)
         self.metrics.histogram(
@@ -718,6 +739,21 @@ class QueryService:
             page_cache_misses=delta.misses,
             commit_lsn=result.commit_lsn,
         )
+
+    def _maybe_vacuum_versions(self) -> None:
+        """Every N writes, reclaim version chains behind the oldest live
+        snapshot (and fold index deltas when no snapshot is live)."""
+        with self._lock:
+            self._writes_until_gc -= 1
+            if self._writes_until_gc > 0:
+                return
+            self._writes_until_gc = _VERSION_GC_WRITE_INTERVAL
+        counters = self.db.vacuum_versions()
+        self.metrics.counter("storage.version_gc_runs").inc()
+        self.metrics.counter("storage.versions_reclaimed").inc(
+            counters["reclaimed"]
+        )
+        self.metrics.counter("storage.versions_folded").inc(counters["folded"])
 
     @staticmethod
     def _drain(result, ticket: QueryTicket) -> list[dict]:

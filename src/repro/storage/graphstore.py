@@ -10,6 +10,14 @@ All record reads/writes flow through :class:`~repro.storage.stores.RecordStore`
 and therefore touch the simulated page cache, which is what makes the paper's
 cold-run experiments reproducible.
 
+The store is multi-versioned (see DESIGN.md §"MVCC snapshots"): every
+mutation goes through copy-on-write — a record is never modified in place
+once stored; writers take a private copy via ``read_for_update``, mutate it,
+and write it back as a new PENDING version. :meth:`GraphStore.publish_commit`
+stamps everything a transaction touched (records, label index, degrees,
+statistics, path-index deltas) with one commit LSN, so a reader pinned at any
+published LSN sees an internally consistent graph without taking a lock.
+
 The store also enforces the Neo4j policy the paper's maintenance design relies
 on (§4.1.1): a node with attached relationships can never be deleted, so path
 index maintenance only ever has to consider relationship and label updates.
@@ -31,6 +39,7 @@ from repro.storage.records import (
 )
 from repro.storage.statistics import GraphStatistics
 from repro.storage.stores import RecordStore, TokenStore
+from repro.storage.versions import VersionClock, VersionedChainMap
 
 DEFAULT_DENSE_NODE_THRESHOLD = 50
 """Degree beyond which a node's relationships are regrouped per type."""
@@ -65,31 +74,169 @@ class GraphStore:
     ) -> None:
         self.page_cache = page_cache if page_cache is not None else PageCache()
         self.dense_node_threshold = dense_node_threshold
+        self.mvcc = VersionClock()
         self.nodes: RecordStore[NodeRecord] = RecordStore(
-            "neostore.nodestore.db", NodeRecord.RECORD_SIZE, self.page_cache
+            "neostore.nodestore.db",
+            NodeRecord.RECORD_SIZE,
+            self.page_cache,
+            clock=self.mvcc,
         )
         self.relationships: RecordStore[RelationshipRecord] = RecordStore(
             "neostore.relationshipstore.db",
             RelationshipRecord.RECORD_SIZE,
             self.page_cache,
+            clock=self.mvcc,
         )
         self.properties: RecordStore[PropertyRecord] = RecordStore(
-            "neostore.propertystore.db", PropertyRecord.RECORD_SIZE, self.page_cache
+            "neostore.propertystore.db",
+            PropertyRecord.RECORD_SIZE,
+            self.page_cache,
+            clock=self.mvcc,
         )
         self.groups: RecordStore[RelationshipGroupRecord] = RecordStore(
             "neostore.relationshipgroupstore.db",
             RelationshipGroupRecord.RECORD_SIZE,
             self.page_cache,
+            clock=self.mvcc,
         )
         self.labels = TokenStore("labels")
         self.types = TokenStore("types")
         self.property_keys = TokenStore("property_keys")
+        # ``statistics`` is the live (latest) counts writers maintain;
+        # copies stamped per commit LSN serve snapshot readers.
         self.statistics = GraphStatistics()
-        # Built-in label index (Neo4j's label scan store): label -> node ids.
-        self._label_index: dict[int, dict[int, None]] = {}
-        self._degrees: dict[int, int] = {}
-        # Dense node: node_id -> {type_id -> group record id}
+        self._stats_versions: list[tuple[int, GraphStatistics]] = [
+            (0, self.statistics.copy())
+        ]
+        self._stats_dirty = False
+        # Built-in label index (Neo4j's label scan store): label -> chain
+        # map of node id -> membership events. Buckets are created lazily
+        # and never removed, so compiled closures can bind the dict.
+        self._label_index: dict[int, VersionedChainMap] = {}
+        self._degrees = VersionedChainMap()
+        # Dense node: node_id -> {type_id -> group record id}. Writer-only
+        # accelerator — snapshot readers walk the group chain from the
+        # node record instead, which versions correctly.
         self._group_lookup: dict[int, dict[int, int]] = {}
+        # External structures published with the same commit LSN (the
+        # path-index store registers itself here).
+        self._publishers: list = []
+
+    # ------------------------------------------------------------------
+    # MVCC publish / GC
+    # ------------------------------------------------------------------
+
+    def register_publisher(self, publisher) -> None:
+        """Register an object with ``has_pending()``/``publish(lsn)``/
+        ``collect(cutoff)`` to be stamped with every commit LSN."""
+        self._publishers.append(publisher)
+
+    def has_pending_versions(self) -> bool:
+        return (
+            self.nodes.has_pending()
+            or self.relationships.has_pending()
+            or self.properties.has_pending()
+            or self.groups.has_pending()
+            or self._degrees.has_pending()
+            or self._stats_dirty
+            or any(bucket.has_pending() for bucket in list(self._label_index.values()))
+            or any(publisher.has_pending() for publisher in self._publishers)
+        )
+
+    def publish_commit(self, lsn: Optional[int] = None) -> Optional[int]:
+        """Atomically publish everything pending under one commit LSN.
+
+        ``lsn`` is the WAL sequence number for durable databases; when
+        omitted (non-durable) a fresh LSN comes from the version clock.
+        Every pending version — records, label-index and degree events,
+        the statistics copy, and registered path-index deltas — is stamped
+        *before* the clock's published watermark advances, so no snapshot
+        can pin a half-published commit. Returns the LSN, or None when the
+        commit changed nothing (publishing nothing keeps counter LSNs from
+        colliding with future WAL sequence numbers).
+        """
+        if not self.has_pending_versions():
+            return None
+        if lsn is None:
+            lsn = self.mvcc.next_lsn()
+        self.nodes.publish(lsn)
+        self.relationships.publish(lsn)
+        self.properties.publish(lsn)
+        self.groups.publish(lsn)
+        for bucket in list(self._label_index.values()):
+            bucket.publish(lsn)
+        self._degrees.publish(lsn)
+        if self._stats_dirty:
+            self._stats_versions.append((lsn, self.statistics.copy()))
+            self._stats_dirty = False
+        for publisher in self._publishers:
+            publisher.publish(lsn)
+        self.mvcc.publish(lsn)
+        return lsn
+
+    def collect_versions(self) -> dict[str, int]:
+        """Reclaim version chains no live snapshot can reach.
+
+        Safe to run concurrently with lock-free readers: every structure
+        swaps lists/dict entries atomically and any reader still holding a
+        pre-swap list resolves correctly from it. Returns GC counters.
+        """
+        cutoff = self.mvcc.gc_cutoff()
+        reclaimed = (
+            self.nodes.collect_versions(cutoff)
+            + self.relationships.collect_versions(cutoff)
+            + self.properties.collect_versions(cutoff)
+            + self.groups.collect_versions(cutoff)
+        )
+        reclaimed += self._degrees.collect(cutoff)
+        for bucket in list(self._label_index.values()):
+            reclaimed += bucket.collect(cutoff)
+        versions = self._stats_versions
+        keep_from = 0
+        for index in range(len(versions) - 1, -1, -1):
+            if versions[index][0] <= cutoff:
+                keep_from = index
+                break
+        if keep_from > 0:
+            self._stats_versions = versions[keep_from:]
+            reclaimed += keep_from
+        folded = 0
+        for publisher in self._publishers:
+            folded += publisher.collect(cutoff)
+        return {"cutoff": cutoff, "reclaimed": reclaimed, "folded": folded}
+
+    def version_stats(self) -> dict[str, int]:
+        """Retained-version counts for the metrics endpoint."""
+        history = (
+            self.nodes.version_count()
+            + self.relationships.version_count()
+            + self.properties.version_count()
+            + self.groups.version_count()
+        )
+        chains = self._degrees.version_count()
+        for bucket in list(self._label_index.values()):
+            chains += bucket.version_count()
+        deltas = sum(
+            publisher.delta_count() for publisher in self._publishers
+        )
+        return {
+            "record_versions": history,
+            "chain_versions": chains,
+            "index_deltas": deltas,
+            # The base statistics copy is the current value, not history.
+            "stats_versions": max(0, len(self._stats_versions) - 1),
+        }
+
+    def statistics_view(self) -> GraphStatistics:
+        """The statistics consistent with this thread's read view."""
+        lsn = self.mvcc.reading_lsn()
+        if lsn is None:
+            return self.statistics
+        versions = self._stats_versions
+        for version_lsn, stats in reversed(versions):
+            if version_lsn <= lsn:
+                return stats
+        return versions[0][1]
 
     # ------------------------------------------------------------------
     # Nodes
@@ -104,16 +251,17 @@ class GraphStore:
         labels = frozenset(label_ids)
         node_id = self.nodes.allocate_id(requested=node_id)
         self.nodes.write(node_id, NodeRecord(id=node_id, labels=labels))
-        self._degrees[node_id] = 0
+        self._degrees.record(node_id, 0)
         for label_id in labels:
-            self._label_index.setdefault(label_id, {})[node_id] = None
+            self._label_bucket(label_id).record(node_id, True)
         self.statistics.node_added(labels)
+        self._stats_dirty = True
         return node_id
 
     def delete_node(self, node_id: int) -> None:
         """Delete a node; refuses while relationships are attached."""
         record = self.nodes.read(node_id)
-        if self._degrees.get(node_id, 0) > 0:
+        if self._degrees.latest(node_id, 0) > 0:
             raise ConstraintViolationError(
                 f"cannot delete node {node_id}: it still has relationships"
             )
@@ -121,10 +269,10 @@ class GraphStore:
         for label_id in record.labels:
             bucket = self._label_index.get(label_id)
             if bucket is not None:
-                bucket.pop(node_id, None)
+                bucket.record(node_id, False)
         self.statistics.node_removed(record.labels)
+        self._stats_dirty = True
         self.nodes.free(node_id)
-        self._degrees.pop(node_id, None)
         self._group_lookup.pop(node_id, None)
 
     def node(self, node_id: int) -> NodeRecord:
@@ -144,10 +292,12 @@ class GraphStore:
         record = self.nodes.read(node_id)
         if label_id in record.labels:
             return False
+        record = self.nodes.read_for_update(node_id)
         record.labels = record.labels | {label_id}
         self.nodes.write(node_id, record)
-        self._label_index.setdefault(label_id, {})[node_id] = None
+        self._label_bucket(label_id).record(node_id, True)
         self.statistics.label_added(label_id)
+        self._stats_dirty = True
         self._stats_relabel(node_id, label_id, added=True)
         return True
 
@@ -156,12 +306,14 @@ class GraphStore:
         record = self.nodes.read(node_id)
         if label_id not in record.labels:
             return False
+        record = self.nodes.read_for_update(node_id)
         record.labels = record.labels - {label_id}
         self.nodes.write(node_id, record)
         bucket = self._label_index.get(label_id)
         if bucket is not None:
-            bucket.pop(node_id, None)
+            bucket.record(node_id, False)
         self.statistics.label_removed(label_id)
+        self._stats_dirty = True
         self._stats_relabel(node_id, label_id, added=False)
         return True
 
@@ -174,11 +326,14 @@ class GraphStore:
         bucket = self._label_index.get(label_id)
         if bucket is None:
             return iter(())
+
         # Touch the node records like the real scan store would.
         def generate() -> Iterator[int]:
-            for node_id in list(bucket):
-                self.nodes.read(node_id)
-                yield node_id
+            lsn = self.mvcc.reading_lsn()
+            for node_id in bucket.keys():
+                if bucket.value_at(node_id, lsn, False):
+                    self.nodes.read(node_id)
+                    yield node_id
 
         return generate()
 
@@ -200,14 +355,25 @@ class GraphStore:
         if direction is Direction.BOTH and type_id is None:
             if not self.nodes.exists(node_id):
                 raise RecordNotFoundError(f"no node {node_id}")
-            return self._degrees.get(node_id, 0)
+            return self._degrees.value_at(node_id, self.mvcc.reading_lsn(), 0)
         record = self.nodes.read(node_id)
         if record.dense:
             if type_id is not None:
-                group_id = self._group_lookup.get(node_id, {}).get(type_id)
-                if group_id is None:
-                    return 0
-                return self._group_degree(self.groups.read(group_id), direction)
+                if self.mvcc.reading_lsn() is None:
+                    group_id = self._group_lookup.get(node_id, {}).get(type_id)
+                    if group_id is None:
+                        return 0
+                    return self._group_degree(self.groups.read(group_id), direction)
+                # Snapshot readers walk the (versioned) group chain from
+                # the node record: the writer-side lookup dict is neither
+                # versioned nor stable across node deletion.
+                group_ptr = record.first_rel
+                while group_ptr != NO_ID:
+                    group = self.groups.read(group_ptr)
+                    if group.type_id == type_id:
+                        return self._group_degree(group, direction)
+                    group_ptr = group.next_group
+                return 0
             total = 0
             group_ptr = record.first_rel
             while group_ptr != NO_ID:
@@ -233,6 +399,12 @@ class GraphStore:
             return group.count_in + group.count_loop
         return group.count_out + group.count_in + group.count_loop
 
+    def _label_bucket(self, label_id: int) -> VersionedChainMap:
+        bucket = self._label_index.get(label_id)
+        if bucket is None:
+            self._label_index[label_id] = bucket = VersionedChainMap()
+        return bucket
+
     # ------------------------------------------------------------------
     # Relationships
     # ------------------------------------------------------------------
@@ -243,8 +415,8 @@ class GraphStore:
         """Create ``(start)-[:type]->(end)``; returns the relationship id.
 
         ``rel_id`` forces a specific id (WAL replay)."""
-        start_record = self.nodes.read(start)
-        end_record = self.nodes.read(end)
+        start_record = self.nodes.read_for_update(start)
+        end_record = self.nodes.read_for_update(end)
         rel_id = self.relationships.allocate_id(requested=rel_id)
         rel = RelationshipRecord(
             id=rel_id, type_id=type_id, start_node=start, end_node=end
@@ -253,15 +425,16 @@ class GraphStore:
         self._link_into_chain(rel, start, start_record)
         if start != end:
             self._link_into_chain(rel, end, end_record)
-        self._degrees[start] = self._degrees.get(start, 0) + 1
+        self._degrees.record(start, self._degrees.latest(start, 0) + 1)
         if start != end:
-            self._degrees[end] = self._degrees.get(end, 0) + 1
+            self._degrees.record(end, self._degrees.latest(end, 0) + 1)
         self._maybe_densify(start)
         if start != end:
             self._maybe_densify(end)
         self.statistics.relationship_added(
             type_id, start_record.labels, end_record.labels
         )
+        self._stats_dirty = True
         return rel_id
 
     def delete_relationship(self, rel_id: int) -> None:
@@ -271,12 +444,17 @@ class GraphStore:
         if rel.start_node != rel.end_node:
             self._unlink_from_chain(rel, rel.end_node)
         self._free_property_chain(rel.first_prop)
-        self._degrees[rel.start_node] -= 1
+        self._degrees.record(
+            rel.start_node, self._degrees.latest(rel.start_node, 0) - 1
+        )
         if rel.start_node != rel.end_node:
-            self._degrees[rel.end_node] -= 1
+            self._degrees.record(
+                rel.end_node, self._degrees.latest(rel.end_node, 0) - 1
+            )
         start_labels = self.nodes.read(rel.start_node).labels
         end_labels = self.nodes.read(rel.end_node).labels
         self.statistics.relationship_removed(rel.type_id, start_labels, end_labels)
+        self._stats_dirty = True
         self.relationships.free(rel_id)
 
     def relationship(self, rel_id: int) -> RelationshipRecord:
@@ -326,7 +504,7 @@ class GraphStore:
     # ------------------------------------------------------------------
 
     def set_node_property(self, node_id: int, key_id: int, value: object) -> None:
-        record = self.nodes.read(node_id)
+        record = self.nodes.read_for_update(node_id)
         record.first_prop = self._chain_set(record.first_prop, key_id, value)
         self.nodes.write(node_id, record)
 
@@ -334,7 +512,7 @@ class GraphStore:
         return self._chain_get(self.nodes.read(node_id).first_prop, key_id)
 
     def remove_node_property(self, node_id: int, key_id: int) -> None:
-        record = self.nodes.read(node_id)
+        record = self.nodes.read_for_update(node_id)
         record.first_prop = self._chain_remove(record.first_prop, key_id)
         self.nodes.write(node_id, record)
 
@@ -344,7 +522,7 @@ class GraphStore:
     def set_relationship_property(
         self, rel_id: int, key_id: int, value: object
     ) -> None:
-        rel = self.relationships.read(rel_id)
+        rel = self.relationships.read_for_update(rel_id)
         rel.first_prop = self._chain_set(rel.first_prop, key_id, value)
         self.relationships.write(rel_id, rel)
 
@@ -380,7 +558,7 @@ class GraphStore:
         head = node_record.first_rel
         self._set_chain_pointers(rel, node_id, prev=NO_ID, next_=head)
         if head != NO_ID:
-            old_head = self.relationships.read(head)
+            old_head = self.relationships.read_for_update(head)
             self._set_chain_prev(old_head, node_id, rel.id)
             self.relationships.write(head, old_head)
         node_record.first_rel = rel.id
@@ -395,14 +573,15 @@ class GraphStore:
         prev_id = self._chain_prev(rel, node_id)
         next_id = rel.chain_next(node_id)
         if prev_id != NO_ID:
-            prev = self.relationships.read(prev_id)
+            prev = self.relationships.read_for_update(prev_id)
             self._set_chain_next(prev, node_id, next_id)
             self.relationships.write(prev_id, prev)
         else:
+            node_record = self.nodes.read_for_update(node_id)
             node_record.first_rel = next_id
             self.nodes.write(node_id, node_record)
         if next_id != NO_ID:
-            nxt = self.relationships.read(next_id)
+            nxt = self.relationships.read_for_update(next_id)
             self._set_chain_prev(nxt, node_id, prev_id)
             self.relationships.write(next_id, nxt)
 
@@ -439,10 +618,15 @@ class GraphStore:
 
     def _maybe_densify(self, node_id: int) -> None:
         record = self.nodes.read(node_id)
-        if record.dense or self._degrees[node_id] <= self.dense_node_threshold:
+        if record.dense or self._degrees.latest(node_id, 0) <= self.dense_node_threshold:
             return
-        # Collect the existing chain, then rebuild as per-type groups.
-        rels = list(self.relationships_of(node_id))
+        # Collect the existing chain as private copies, then rebuild as
+        # per-type groups. The stored versions stay untouched for readers.
+        rels = [
+            self.relationships.read_for_update(rel.id)
+            for rel in self.relationships_of(node_id)
+        ]
+        record = self.nodes.read_for_update(node_id)
         record.dense = True
         record.first_rel = NO_ID
         self.nodes.write(node_id, record)
@@ -458,9 +642,9 @@ class GraphStore:
         lookup = self._group_lookup.setdefault(node_id, {})
         group_id = lookup.get(type_id)
         if group_id is not None:
-            return self.groups.read(group_id)
+            return self.groups.read_for_update(group_id)
         group_id = self.groups.allocate_id()
-        node_record = self.nodes.read(node_id)
+        node_record = self.nodes.read_for_update(node_id)
         group = RelationshipGroupRecord(
             id=group_id,
             owning_node=node_id,
@@ -488,7 +672,7 @@ class GraphStore:
         head = getattr(group, head_attr)
         self._set_chain_pointers(rel, node_id, prev=NO_ID, next_=head)
         if head != NO_ID:
-            old_head = self.relationships.read(head)
+            old_head = self.relationships.read_for_update(head)
             self._set_chain_prev(old_head, node_id, rel.id)
             self.relationships.write(head, old_head)
         setattr(group, head_attr, rel.id)
@@ -498,12 +682,12 @@ class GraphStore:
 
     def _unlink_from_group(self, rel: RelationshipRecord, node_id: int) -> None:
         group_id = self._group_lookup[node_id][rel.type_id]
-        group = self.groups.read(group_id)
+        group = self.groups.read_for_update(group_id)
         head_attr, count_attr = self._group_chain(rel, node_id)
         prev_id = self._chain_prev(rel, node_id)
         next_id = rel.chain_next(node_id)
         if prev_id != NO_ID:
-            prev = self.relationships.read(prev_id)
+            prev = self.relationships.read_for_update(prev_id)
             self._set_chain_next(prev, node_id, next_id)
             self.relationships.write(prev_id, prev)
         else:
@@ -513,7 +697,7 @@ class GraphStore:
         # group record is always written back.
         self.groups.write(group_id, group)
         if next_id != NO_ID:
-            nxt = self.relationships.read(next_id)
+            nxt = self.relationships.read_for_update(next_id)
             self._set_chain_prev(nxt, node_id, prev_id)
             self.relationships.write(next_id, nxt)
 
@@ -566,6 +750,7 @@ class GraphStore:
         while ptr != NO_ID:
             prop = self.properties.read(ptr)
             if prop.key_id == key_id:
+                prop = self.properties.read_for_update(ptr)
                 prop.value = value
                 self.properties.write(ptr, prop)
                 return head
@@ -576,7 +761,7 @@ class GraphStore:
             PropertyRecord(id=prop_id, key_id=key_id, value=value, next_prop=head),
         )
         if head != NO_ID:
-            old = self.properties.read(head)
+            old = self.properties.read_for_update(head)
             old.prev_prop = prop_id
             self.properties.write(head, old)
         return prop_id
@@ -596,13 +781,13 @@ class GraphStore:
             prop = self.properties.read(ptr)
             if prop.key_id == key_id:
                 if prop.prev_prop != NO_ID:
-                    prev = self.properties.read(prop.prev_prop)
+                    prev = self.properties.read_for_update(prop.prev_prop)
                     prev.next_prop = prop.next_prop
                     self.properties.write(prev.id, prev)
                 else:
                     head = prop.next_prop
                 if prop.next_prop != NO_ID:
-                    nxt = self.properties.read(prop.next_prop)
+                    nxt = self.properties.read_for_update(prop.next_prop)
                     nxt.prev_prop = prop.prev_prop
                     self.properties.write(nxt.id, nxt)
                 self.properties.free(ptr)
@@ -634,22 +819,28 @@ class GraphStore:
     def rebuild_derived_state(self) -> None:
         """Recompute every structure derivable from the raw records: the
         label index, degree counters, dense-node group lookup and the
-        statistics counts. Used after a snapshot restore."""
-        self._label_index = {}
-        self._degrees = {}
-        self._group_lookup = {}
+        statistics counts. Used after a snapshot restore.
+
+        Clears the label index and degree maps in place (compiled
+        closures bind the dict objects) and re-seals the version base at
+        LSN 0 so the restored state is what every later snapshot builds on.
+        """
+        self._label_index.clear()
+        self._degrees.clear()
+        self._group_lookup.clear()
         self.statistics = GraphStatistics()
+        degrees: dict[int, int] = {}
         for node_id in self.nodes.ids_in_use():
             record = self.nodes.read(node_id)
-            self._degrees[node_id] = 0
+            degrees[node_id] = 0
             for label_id in record.labels:
-                self._label_index.setdefault(label_id, {})[node_id] = None
+                self._label_bucket(label_id).seed(node_id, True)
             self.statistics.node_added(record.labels)
             if record.dense:
                 lookup = self._group_lookup.setdefault(node_id, {})
                 group_ptr = record.first_rel
                 while group_ptr != NO_ID:
-                    group = self.groups.read(group_ptr)
+                    group = self.groups.read_for_update(group_ptr)
                     lookup[group.type_id] = group.id
                     # Recompute chain counts from the chains themselves so
                     # snapshots predating the counters restore correctly.
@@ -660,14 +851,29 @@ class GraphStore:
                     group_ptr = group.next_group
         for rel_id in self.relationships.ids_in_use():
             record = self.relationships.read(rel_id)
-            self._degrees[record.start_node] += 1
+            degrees[record.start_node] += 1
             if record.start_node != record.end_node:
-                self._degrees[record.end_node] += 1
+                degrees[record.end_node] += 1
             self.statistics.relationship_added(
                 record.type_id,
                 self.nodes.read(record.start_node).labels,
                 self.nodes.read(record.end_node).labels,
             )
+        for node_id, degree in degrees.items():
+            self._degrees.seed(node_id, degree)
+        self._reset_version_base()
+
+    def _reset_version_base(self) -> None:
+        """Stamp everything pending at LSN 0 — the post-restore base."""
+        self.nodes.publish(0)
+        self.relationships.publish(0)
+        self.properties.publish(0)
+        self.groups.publish(0)
+        for bucket in list(self._label_index.values()):
+            bucket.publish(0)
+        self._degrees.publish(0)
+        self._stats_versions = [(0, self.statistics.copy())]
+        self._stats_dirty = False
 
     # ------------------------------------------------------------------
     # Statistics upkeep for label changes on connected nodes

@@ -26,6 +26,18 @@ class GraphStatistics:
         self.rels_by_start_label_type: Counter[tuple[int, int]] = Counter()
         self.rels_by_type_end_label: Counter[tuple[int, int]] = Counter()
 
+    def copy(self) -> "GraphStatistics":
+        """An independent copy, published per commit LSN for snapshot
+        readers (see GraphStore.publish_commit)."""
+        clone = GraphStatistics()
+        clone.node_count = self.node_count
+        clone.relationship_count = self.relationship_count
+        clone.nodes_by_label = Counter(self.nodes_by_label)
+        clone.rels_by_type = Counter(self.rels_by_type)
+        clone.rels_by_start_label_type = Counter(self.rels_by_start_label_type)
+        clone.rels_by_type_end_label = Counter(self.rels_by_type_end_label)
+        return clone
+
     # -- node lifecycle ----------------------------------------------------
 
     def node_added(self, labels: Iterable[int]) -> None:
@@ -93,9 +105,11 @@ class GraphStatistics:
         if label_id is None:
             return self.rels_with_type(type_id)
         if type_id is None:
+            # list() so a planner reading the *live* stats in latest mode
+            # never races a writer's resize of the counter dict.
             return sum(
                 count
-                for (lbl, _), count in self.rels_by_start_label_type.items()
+                for (lbl, _), count in list(self.rels_by_start_label_type.items())
                 if lbl == label_id
             )
         return self.rels_by_start_label_type.get((label_id, type_id), 0)
@@ -109,7 +123,7 @@ class GraphStatistics:
         if type_id is None:
             return sum(
                 count
-                for (_, lbl), count in self.rels_by_type_end_label.items()
+                for (_, lbl), count in list(self.rels_by_type_end_label.items())
                 if lbl == label_id
             )
         return self.rels_by_type_end_label.get((type_id, label_id), 0)

@@ -5,31 +5,67 @@ Each store is "a sequential block of memory that is mapped to a file on disk"
 free-list for id reuse, and report every record access to the page cache using
 ``record_id * record_size`` as the byte offset — the same mapping Neo4j's page
 cache performs.
+
+Since the MVCC change every slot holds a *version* ``(lsn, record)`` tuple
+rather than the bare record: ``record`` is ``None`` for a tombstone (the id
+was freed at ``lsn``), and the slot itself is ``None`` only for never-
+allocated gaps. Overwritten versions move into a per-id history chain so a
+reader pinned at an older LSN still resolves the record it could see at
+acquire time — without taking any lock. See ``storage/versions.py`` for the
+publish protocol and DESIGN.md §"MVCC snapshots" for the layout.
 """
 
 from __future__ import annotations
 
+import copy
 from typing import Generic, Iterator, Optional, TypeVar
 
 from repro.errors import RecordNotFoundError, StorageError
 from repro.storage.pagecache import PageCache
+from repro.storage.versions import PENDING, VersionClock
 
 R = TypeVar("R")
 
 
 class RecordStore(Generic[R]):
-    """A fixed-record-size store with free-list id allocation.
+    """A fixed-record-size store with free-list id allocation and per-record
+    version chains.
 
     ``record_size`` is the on-disk size per record; it drives both the page
-    mapping and :meth:`size_on_disk`.
+    mapping and :meth:`size_on_disk`. ``clock`` is the database-wide
+    :class:`VersionClock`; when omitted (direct construction in tests) the
+    store gets a private clock and behaves exactly like the pre-MVCC store
+    for latest-mode reads.
+
+    Write protocol (writer holds the database write lock):
+
+    1. append the current version to the id's history chain,
+    2. *then* replace the current slot with a ``(PENDING, record)`` version.
+
+    A lock-free reader that races step 2 either sees the old current or the
+    new one; either way every version it may need is already reachable.
+    :meth:`publish` later restamps the PENDING versions with the commit LSN
+    before the clock's published watermark advances, so no snapshot can be
+    pinned between the two.
     """
 
-    def __init__(self, name: str, record_size: int, page_cache: PageCache) -> None:
+    def __init__(
+        self,
+        name: str,
+        record_size: int,
+        page_cache: PageCache,
+        clock: Optional[VersionClock] = None,
+    ) -> None:
         self.name = name
         self.record_size = record_size
         self._page_cache = page_cache
         page_cache.register_file(name)
-        self._records: list[Optional[R]] = []
+        self.clock = clock if clock is not None else VersionClock()
+        # Slot: None = never allocated; (lsn, record) = current version;
+        # (lsn, None) = tombstone (freed at lsn).
+        self._records: list[Optional[tuple]] = []
+        self._history: dict[int, list] = {}
+        self._pending: set[int] = set()
         self._free_ids: list[int] = []
         self._in_use = 0
 
@@ -46,7 +82,8 @@ class RecordStore(Generic[R]):
             if requested < 0:
                 raise StorageError(f"{self.name}: invalid id {requested}")
             if requested < len(self._records):
-                if self._records[requested] is not None:
+                slot = self._records[requested]
+                if slot is not None and slot[1] is not None:
                     raise StorageError(
                         f"{self.name}: id {requested} is already in use"
                     )
@@ -67,15 +104,29 @@ class RecordStore(Generic[R]):
         return len(self._records) - 1
 
     def write(self, record_id: int, record: R) -> None:
-        """Write ``record`` at ``record_id`` (which must have been allocated)."""
+        """Write ``record`` at ``record_id`` (which must have been allocated).
+
+        The record object must be private to the writer: either freshly
+        created or obtained through :meth:`read_for_update`. Mutating an
+        object that is already stored would silently rewrite history.
+        """
         if record_id < 0 or record_id >= len(self._records):
             raise StorageError(
                 f"{self.name}: write to unallocated id {record_id}"
             )
         self._touch(record_id)
-        if self._records[record_id] is None:
+        current = self._records[record_id]
+        if current is None or current[1] is None:
             self._in_use += 1
-        self._records[record_id] = record
+        if current is not None:
+            # History first, then swap: a racing reader must always find
+            # every version it could legally need.
+            history = self._history.get(record_id)
+            if history is None:
+                self._history[record_id] = history = []
+            history.append(current)
+        self._records[record_id] = (PENDING, record)
+        self._pending.add(record_id)
 
     def read(self, record_id: int) -> R:
         """Read the record at ``record_id``; raises if absent or freed."""
@@ -85,28 +136,74 @@ class RecordStore(Generic[R]):
         return record
 
     def try_read(self, record_id: int) -> Optional[R]:
-        """Like :meth:`read` but returns None for missing records."""
+        """Like :meth:`read` but returns None for missing records.
+
+        Resolves against the thread's ambient snapshot when one is
+        installed; otherwise returns the newest version (including the
+        writer's own pending work).
+        """
         if record_id < 0 or record_id >= len(self._records):
             return None
+        slot = self._records[record_id]
+        if slot is None:
+            return None
         self._touch(record_id)
-        return self._records[record_id]
+        lsn = self.clock.reading_lsn()
+        if lsn is None:
+            return slot[1]
+        if slot[0] <= lsn:
+            return slot[1]
+        history = self._history.get(record_id)
+        if history is not None:
+            for version_lsn, record in reversed(history):
+                if version_lsn <= lsn:
+                    return record
+        return None
+
+    def read_for_update(self, record_id: int) -> R:
+        """A private copy of the latest record, safe for the writer to
+        mutate and hand back to :meth:`write`."""
+        if 0 <= record_id < len(self._records):
+            slot = self._records[record_id]
+            if slot is not None and slot[1] is not None:
+                self._touch(record_id)
+                return copy.copy(slot[1])
+        raise RecordNotFoundError(f"{self.name}: no record {record_id}")
 
     def free(self, record_id: int) -> None:
-        """Delete the record and recycle its id."""
+        """Delete the record and recycle its id (tombstone version)."""
         if record_id < 0 or record_id >= len(self._records):
             raise RecordNotFoundError(f"{self.name}: no record {record_id}")
-        if self._records[record_id] is None:
+        current = self._records[record_id]
+        if current is None or current[1] is None:
             raise RecordNotFoundError(f"{self.name}: record {record_id} already freed")
         self._touch(record_id)
-        self._records[record_id] = None
+        history = self._history.get(record_id)
+        if history is None:
+            self._history[record_id] = history = []
+        history.append(current)
+        self._records[record_id] = (PENDING, None)
+        self._pending.add(record_id)
         self._in_use -= 1
         self._free_ids.append(record_id)
 
     def exists(self, record_id: int) -> bool:
-        return (
-            0 <= record_id < len(self._records)
-            and self._records[record_id] is not None
-        )
+        if record_id < 0 or record_id >= len(self._records):
+            return False
+        slot = self._records[record_id]
+        if slot is None:
+            return False
+        lsn = self.clock.reading_lsn()
+        if lsn is None:
+            return slot[1] is not None
+        if slot[0] <= lsn:
+            return slot[1] is not None
+        history = self._history.get(record_id)
+        if history is not None:
+            for version_lsn, record in reversed(history):
+                if version_lsn <= lsn:
+                    return record is not None
+        return False
 
     def ids_in_use(self) -> Iterator[int]:
         """All live record ids in id order (a sequential store scan).
@@ -119,12 +216,30 @@ class RecordStore(Generic[R]):
         page_size = self._page_cache.page_size
         record_size = self.record_size
         touch_run = self._page_cache.touch_run
+        lsn = self.clock.reading_lsn()
+        history = self._history
         run_start = -1
         run_end = -1  # exclusive
         try:
-            for record_id, record in enumerate(self._records):
-                if record is None:
+            for record_id, slot in enumerate(self._records):
+                if slot is None:
                     continue
+                if lsn is None:
+                    if slot[1] is None:
+                        continue
+                elif slot[0] <= lsn:
+                    if slot[1] is None:
+                        continue
+                else:
+                    chain = history.get(record_id)
+                    record = None
+                    if chain is not None:
+                        for version_lsn, candidate in reversed(chain):
+                            if version_lsn <= lsn:
+                                record = candidate
+                                break
+                    if record is None:
+                        continue
                 page_id = record_id * record_size // page_size
                 if page_id >= run_end:
                     if page_id == run_end:
@@ -154,14 +269,72 @@ class RecordStore(Generic[R]):
     def _touch(self, record_id: int) -> None:
         self._page_cache.touch(self.name, record_id * self.record_size)
 
+    # -- MVCC publish / GC -------------------------------------------------
+
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def publish(self, lsn: int) -> None:
+        """Restamp every PENDING version with the commit LSN.
+
+        Pending versions in a history chain form a contiguous tail (they
+        were appended after the last publish), so the restamp walks each
+        chain backwards until it hits a stamped version.
+        """
+        if not self._pending:
+            return
+        for record_id in self._pending:
+            history = self._history.get(record_id)
+            if history is not None:
+                for index in range(len(history) - 1, -1, -1):
+                    if history[index][0] is not PENDING:
+                        break
+                    history[index] = (lsn, history[index][1])
+            slot = self._records[record_id]
+            if slot is not None and slot[0] is PENDING:
+                self._records[record_id] = (lsn, slot[1])
+        self._pending.clear()
+
+    def collect_versions(self, cutoff: int) -> int:
+        """Reclaim history unreachable by snapshots at or above ``cutoff``.
+
+        For each id: if the *current* version is at or below the cutoff,
+        every historic version is dead; otherwise keep the newest historic
+        version at or below the cutoff plus everything newer. Runs without
+        quiescing readers — replacement is a single dict store and any
+        reader still holding the old list resolves correctly from it.
+        Returns the number of versions reclaimed.
+        """
+        reclaimed = 0
+        for record_id in list(self._history):
+            history = self._history[record_id]
+            slot = self._records[record_id]
+            if slot is not None and slot[0] <= cutoff:
+                reclaimed += len(history)
+                del self._history[record_id]
+                continue
+            keep_from = len(history)
+            for index in range(len(history) - 1, -1, -1):
+                keep_from = index
+                if history[index][0] <= cutoff:
+                    break
+            if keep_from > 0:
+                self._history[record_id] = history[keep_from:]
+                reclaimed += keep_from
+        return reclaimed
+
+    def version_count(self) -> int:
+        """Historic (non-current) versions retained, for metrics."""
+        return sum(len(chain) for chain in list(self._history.values()))
+
     # -- snapshot support -------------------------------------------------
 
     def dump_records(self) -> dict[int, R]:
         """All live records by id (snapshot save; no page accounting)."""
         return {
-            record_id: record
-            for record_id, record in enumerate(self._records)
-            if record is not None
+            record_id: slot[1]
+            for record_id, slot in enumerate(self._records)
+            if slot is not None and slot[1] is not None
         }
 
     def restore_records(self, records: dict[int, R]) -> None:
@@ -169,10 +342,16 @@ class RecordStore(Generic[R]):
 
         Record ids are preserved exactly; gaps become free ids, largest
         first so future allocation reuses low ids the way a freshly
-        replayed store would.
+        replayed store would. Restored versions are stamped at LSN 0 —
+        the base every later snapshot resolves to.
         """
         highest = max(records) if records else -1
-        self._records = [records.get(record_id) for record_id in range(highest + 1)]
+        self._records = [
+            (0, records[record_id]) if record_id in records else None
+            for record_id in range(highest + 1)
+        ]
+        self._history = {}
+        self._pending = set()
         self._free_ids = sorted(
             (
                 record_id
@@ -186,7 +365,12 @@ class RecordStore(Generic[R]):
 
 class TokenStore:
     """Bidirectional name↔id registry for labels, relationship types and
-    property keys (Neo4j's token stores)."""
+    property keys (Neo4j's token stores).
+
+    Append-only, so it needs no versioning: a snapshot reader resolving a
+    token created after its pin simply finds a label/type no visible
+    record carries — a safe over-approximation.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -198,8 +382,8 @@ class TokenStore:
         token_id = self._name_to_id.get(token)
         if token_id is None:
             token_id = len(self._id_to_name)
-            self._name_to_id[token] = token_id
             self._id_to_name.append(token)
+            self._name_to_id[token] = token_id
         return token_id
 
     def id_of(self, token: str) -> Optional[int]:

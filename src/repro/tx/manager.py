@@ -31,6 +31,11 @@ class TransactionManager:
         self._store = store
         self._appliers: list["TransactionApplier"] = []
         self._local = threading.local()
+        # Supplies the commit LSN at publish time. The durability engine
+        # installs its WAL-sequence capture here so versions are stamped
+        # with the exact sequence the redo log assigned; without it the
+        # store's version clock mints counter LSNs.
+        self.lsn_provider = None
 
     def register_applier(self, applier: "TransactionApplier") -> None:
         self._appliers.append(applier)
@@ -48,8 +53,16 @@ class TransactionManager:
                 "(concurrent/nested transactions are unsupported, as in the "
                 "paper's prototype)"
             )
-        tx = Transaction(self._store, manager=self, appliers=self._appliers)
-        self._local.active = tx
+        # Writers serialize with writers (and with checkpoint/DDL/GC)
+        # on the store's MVCC write lock; readers never take it. Held
+        # until the transaction closes.
+        self._store.mvcc.write_lock.acquire()
+        try:
+            tx = Transaction(self._store, manager=self, appliers=self._appliers)
+            self._local.active = tx
+        except BaseException:
+            self._store.mvcc.write_lock.release()
+            raise
         return tx
 
     def current(self) -> Optional[Transaction]:
@@ -74,3 +87,4 @@ class TransactionManager:
     def _transaction_closed(self, tx: Transaction) -> None:
         if self.current() is tx:
             self._local.active = None
+        self._store.mvcc.write_lock.release()

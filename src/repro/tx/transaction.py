@@ -200,12 +200,24 @@ class Transaction:
             self._store.delete_node(node_id)
         for applier in self._appliers:
             applier.after_apply(self.state, self._store)
+        # Publish every version this transaction built under one commit
+        # LSN — the WAL sequence when durability captured one, else a
+        # fresh clock LSN. After this, snapshot readers can see the commit.
+        lsn = None
+        if self._manager is not None and self._manager.lsn_provider is not None:
+            lsn = self._manager.lsn_provider()
+        self._store.publish_commit(lsn)
         self.state.clear()
 
     def _rollback(self) -> None:
         # Destructive ops were never applied; undo the eager additive ones.
         for undo in reversed(self.state.undo_log):
             undo()
+        # The eager applies and their undos both wrote PENDING versions.
+        # Publish the net-zero result (freshly-allocated ids end up as
+        # tombstones, everything else at its pre-transaction value) so no
+        # orphaned pending versions outlive the transaction.
+        self._store.publish_commit()
         self.state.clear()
 
     def _check_open(self) -> None:

@@ -481,62 +481,76 @@ def test_shutdown_detaches_plan_cache_subscription(small_db):
 
 
 # ----------------------------------------------------------------------
-# Readers-writer lock
+# MVCC snapshot reads (the rwlock's replacement)
 # ----------------------------------------------------------------------
 
 
-def test_rwlock_readers_share_writers_exclude():
-    from repro.service.rwlock import ReadWriteLock
+def test_reads_never_tear_under_concurrent_writes(small_db):
+    """Torn-read regression: with the readers-writer lock gone, a read
+    overlapping a committing write must still see a complete commit or
+    none of it — never half a multi-row write."""
+    config = ServiceConfig(max_concurrency=6, max_pending=64, write_retries=0)
+    stop = threading.Event()
+    torn: list[object] = []
 
-    lock = ReadWriteLock()
-    peak_readers = [0]
-    active = [0]
-    gate = threading.Barrier(4)
-    state_lock = threading.Lock()
+    with QueryService(small_db, config) as service:
 
-    def reader():
-        gate.wait()
-        with lock.read_locked():
-            with state_lock:
-                active[0] += 1
-                peak_readers[0] = max(peak_readers[0], active[0])
-            time.sleep(0.02)
-            with state_lock:
-                active[0] -= 1
+        def writer(tag: int) -> None:
+            batch = 0
+            while not stop.is_set():
+                batch += 1
+                # One commit creates 3 nodes with the same marker value.
+                marker = tag * 1_000_000 + batch
+                service.execute(
+                    "CREATE (:W {m: %d}), (:W {m: %d}), (:W {m: %d})"
+                    % (marker, marker, marker)
+                )
 
-    threads = [threading.Thread(target=reader) for _ in range(4)]
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    assert peak_readers[0] > 1  # shared mode really is shared
+        threads = [
+            threading.Thread(target=writer, args=(tag,)) for tag in (1, 2)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            deadline = time.monotonic() + 1.5
+            while time.monotonic() < deadline:
+                rows = service.execute("MATCH (n:W) RETURN n.m AS m").rows
+                counts: dict[object, int] = {}
+                for row in rows:
+                    counts[row["m"]] = counts.get(row["m"], 0) + 1
+                for marker, count in counts.items():
+                    if count != 3:
+                        torn.append((marker, count))
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not torn, f"reads observed partial commits: {torn[:5]}"
+        mvcc = service.metrics_snapshot()["mvcc"]
+        assert mvcc["live_snapshots"] == 0
+        assert mvcc["published_lsn"] > 0
 
-    events = []
-    with lock.read_locked():
-        writer = threading.Thread(
-            target=lambda: (lock.acquire_write(), events.append("w"), lock.release_write())
-        )
-        writer.start()
-        time.sleep(0.02)
-        assert events == []  # writer blocked while a reader holds the lock
-    writer.join(timeout=5)
-    assert events == ["w"]
+
+def test_snapshot_reads_counted_and_lag_observed(small_db):
+    with QueryService(small_db) as service:
+        service.execute("MATCH (n:P) RETURN n.i AS i")
+        snapshot = service.metrics_snapshot()
+        assert snapshot["counters"]["service.snapshot_reads"] == 1
+        assert snapshot["histograms"]["service.snapshot_lag_lsns"]["count"] == 1
 
 
-def test_rwlock_writer_excludes_readers():
-    from repro.service.rwlock import ReadWriteLock
-
-    lock = ReadWriteLock()
-    events = []
-    with lock.write_locked():
-        reader = threading.Thread(
-            target=lambda: (lock.acquire_read(), events.append("r"), lock.release_read())
-        )
-        reader.start()
-        time.sleep(0.02)
-        assert events == []  # reader blocked behind the writer
-    reader.join(timeout=5)
-    assert events == ["r"]
+def test_version_gc_reclaims_after_write_burst(small_db):
+    """Opportunistic GC: with no live snapshots, vacuuming collapses the
+    version chains the write burst created."""
+    with QueryService(small_db) as service:
+        for i in range(10):
+            service.execute("CREATE (:G {i: %d})" % i)
+        assert small_db.store.version_stats()["record_versions"] > 0
+        counters = small_db.vacuum_versions()
+        assert counters["reclaimed"] > 0
+        assert small_db.store.version_stats()["record_versions"] == 0
+        rows = service.execute("MATCH (n:G) RETURN n.i AS i").rows
+        assert sorted(row["i"] for row in rows) == list(range(10))
 
 
 # ----------------------------------------------------------------------

@@ -146,21 +146,29 @@ def test_nested_begin_rejected(manager):
 
 
 def test_transactions_are_thread_bound(store, manager):
+    """A transaction is invisible to other threads, and a concurrent
+    ``begin`` on another thread serializes behind it (MVCC: writers only
+    coordinate with writers, via the store's write lock)."""
+    seen_in_thread = []
+    started = threading.Event()
+
+    def worker():
+        started.set()
+        seen_in_thread.append(manager.current())
+        inner = manager.begin()  # blocks until the first writer closes
+        seen_in_thread.append(inner)
+        inner.close()
+
+    thread = threading.Thread(target=worker)
     with manager.begin() as tx:
-        seen_in_thread = []
-
-        def worker():
-            seen_in_thread.append(manager.current())
-            inner = manager.begin()  # allowed: different thread
-            seen_in_thread.append(inner)
-            inner.close()
-
-        thread = threading.Thread(target=worker)
         thread.start()
-        thread.join()
-        assert seen_in_thread[0] is None
-        assert isinstance(seen_in_thread[1], Transaction)
+        started.wait(timeout=10)
         assert manager.current() is tx
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert seen_in_thread[0] is None
+    assert isinstance(seen_in_thread[1], Transaction)
+    assert manager.current() is None
 
 
 def test_suspended_hides_active_transaction(manager):

@@ -23,12 +23,14 @@ adds codec + socket overhead on top; its throughput floor shows the wire
 cost, not a second scheduler.
 """
 
+import os
+import sys
 import threading
 import time
 from queue import Empty, SimpleQueue
 
 from benchmarks._shared import correlated_config
-from repro import GraphDatabase, QueryService, ServiceConfig
+from repro import GraphDatabase, QueryService, ServiceConfig, wire
 from repro.bench import Methodology
 from repro.bench.reporting import render_table, write_report
 from repro.client import Client
@@ -345,6 +347,217 @@ def _run_network_table(smoke: bool = False) -> dict:
     return data
 
 
+REPLICA_WORKLOAD = (
+    # Same shapes as WORKLOAD, but returning scalars so the rows are
+    # directly byte-comparable across servers at the wire codec level.
+    "MATCH (a:A)-[w:X]->(b:A)-[x:X]->(c:A)-[y:Y]->(d:B) "
+    "RETURN a.i AS i, d.j AS j",
+    "MATCH (a:A)-[y:Y]->(b:B) RETURN a.i AS i, b.j AS j",
+    "MATCH (a:A)-[x:X]->(b:A) RETURN a.i AS i, b.i AS j",
+    "MATCH (a:A)-[y:Y]->(b:B)-[x:X]->(c:A) RETURN a.i AS i, c.i AS j",
+)
+REPLICA_GATE = 2.5
+"""Required aggregate read speed-up at ``--replicas 4`` — enforced only
+when the host actually has the cores to run the processes in parallel."""
+
+
+def _rows_bytes(rows: list) -> bytes:
+    """Canonical byte encoding of a result set for byte-identity checks."""
+    return wire.encode_frame(
+        wire.MSG_RECORD,
+        {"rows": sorted(sorted(row.items()) for row in rows)},
+    )
+
+
+def _drain_across_targets(
+    targets: list, connections: int, batch: int
+) -> tuple[float, int]:
+    """``batch`` read queries drained by ``connections`` clients spread
+    round-robin across ``targets`` (a list of (host, port) addresses).
+
+    Returns (wall seconds, total rows). With one target this is the
+    single-server baseline; with N it is the aggregate replicated read
+    path the router would fan out to.
+    """
+    work: SimpleQueue = SimpleQueue()
+    for index in range(batch):
+        work.put(REPLICA_WORKLOAD[index % len(REPLICA_WORKLOAD)])
+    rows = [0] * connections
+    errors: list = []
+
+    def drain(slot: int) -> None:
+        host, port = targets[slot % len(targets)]
+        try:
+            with Client(host, port, io_timeout_s=600.0) as client:
+                while True:
+                    try:
+                        query = work.get_nowait()
+                    except Empty:
+                        return
+                    rows[slot] += client.execute(query).row_count
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=drain, args=(slot,))
+        for slot in range(connections)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return wall, sum(rows)
+
+
+def _run_replica_table(replicas: int, smoke: bool = False) -> dict:
+    """Aggregate read throughput: 1 leader alone vs ``replicas`` replicas.
+
+    Boots real subprocesses (each replica is its own interpreter, so
+    scaling is bounded by physical cores, not the GIL), seeds the leader
+    over the wire with logged writes, waits for every replica to drain to
+    lag 0, asserts the workload's rows are byte-identical on every server,
+    then measures the same query batch against the leader alone and spread
+    across the replicas. Artifact:
+    ``benchmarks/results/replica_read_scaling.{txt,json}``.
+    """
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "scripts"))
+    import tempfile
+
+    from _smoke_common import SmokeProcess, connect_with_backoff
+
+    paths = 24 if smoke else 96
+    batch = 32 if smoke else 32 * max(2, replicas)
+    connections = 2 * replicas
+    cores = os.cpu_count() or 1
+    with tempfile.TemporaryDirectory() as tmp:
+        leader = SmokeProcess(
+            ["-m", "repro.server", "--data", os.path.join(tmp, "leader"),
+             "--port", "0"]
+        )
+        nodes = [leader]
+        try:
+            with connect_with_backoff(
+                leader.host, leader.port, process=leader
+            ) as seed:
+                for k in range(paths):
+                    seed.execute(
+                        f"CREATE (:A {{i: {4 * k}}})-[:X]->"
+                        f"(:A {{i: {4 * k + 1}}})-[:X]->"
+                        f"(:A {{i: {4 * k + 2}}})-[:Y]->"
+                        f"(:B {{j: {k}}})-[:X]->(:A {{i: {4 * k + 3}}})"
+                    )
+                leader_applied = seed.status()["applied_lsn"]
+                reference = {
+                    query: _rows_bytes(seed.execute(query).rows)
+                    for query in REPLICA_WORKLOAD
+                }
+
+            leader_name = f"{leader.host}:{leader.port}"
+            for index in range(replicas):
+                nodes.append(
+                    SmokeProcess(
+                        ["-m", "repro.server", "--data",
+                         os.path.join(tmp, f"replica{index}"), "--port", "0",
+                         "--replica-of", leader_name]
+                    )
+                )
+            deadline = time.monotonic() + 60
+            for replica in nodes[1:]:
+                with connect_with_backoff(
+                    replica.host, replica.port, process=replica
+                ) as client:
+                    while True:
+                        status = client.status()
+                        if (
+                            status.get("replica_connected")
+                            and status.get("replica_lag_lsn") == 0
+                            and status["applied_lsn"] >= leader_applied
+                        ):
+                            break
+                        if time.monotonic() >= deadline:
+                            raise AssertionError(
+                                f"replica never caught up: {status}"
+                            )
+                        time.sleep(0.05)
+                    for query, expected in reference.items():
+                        got = _rows_bytes(client.execute(query).rows)
+                        assert got == expected, (
+                            f"replica rows not byte-identical for {query!r}"
+                        )
+
+            leader_address = (leader.host, leader.port)
+            replica_addresses = [(node.host, node.port) for node in nodes[1:]]
+            # Warm every server's plan cache before timing.
+            _drain_across_targets([leader_address], 2, len(REPLICA_WORKLOAD))
+            _drain_across_targets(
+                replica_addresses, connections, len(REPLICA_WORKLOAD) * replicas
+            )
+            single_wall, single_rows = _drain_across_targets(
+                [leader_address], connections, batch
+            )
+            spread_wall, spread_rows = _drain_across_targets(
+                replica_addresses, connections, batch
+            )
+            assert single_rows == spread_rows, "row drift between topologies"
+        finally:
+            drains = [node.drain() for node in nodes]
+        for node, (returncode, output) in zip(nodes, drains):
+            assert returncode == 0, (
+                f"{' '.join(node.args)} exited {returncode}:\n{output}"
+            )
+
+    single_qps = batch / single_wall if single_wall > 0 else float("inf")
+    spread_qps = batch / spread_wall if spread_wall > 0 else float("inf")
+    speedup = spread_qps / single_qps if single_qps > 0 else float("inf")
+    enforced = cores >= replicas and replicas >= 2
+    data = {
+        "replicas": replicas,
+        "connections": connections,
+        "batch": batch,
+        "cores": cores,
+        "single_qps": single_qps,
+        "aggregate_qps": spread_qps,
+        "speedup": speedup,
+        "rows_identical": True,
+        "gate": {
+            "required_speedup": REPLICA_GATE,
+            "enforced": enforced,
+            "passed": (not enforced) or speedup >= REPLICA_GATE,
+        },
+    }
+    table = render_table(
+        f"Replica read scaling — {batch}-query batch, {connections} "
+        f"connections, {cores} core(s)",
+        ("Topology", "Batch wall", "Aggregate throughput", "Speed-up"),
+        (
+            ("1 leader", f"{single_wall * 1e3:,.1f} ms",
+             f"{single_qps:,.1f} q/s", "1.00x"),
+            (f"{replicas} replicas", f"{spread_wall * 1e3:,.1f} ms",
+             f"{spread_qps:,.1f} q/s", f"{speedup:,.2f}x"),
+        ),
+        note=(
+            f"Each replica is its own process, so the speed-up ceiling is "
+            f"min(replicas, cores) = {min(replicas, cores)}; the "
+            f"{REPLICA_GATE:.1f}x gate is "
+            + ("enforced." if enforced else
+               "reported but not enforced on this host (too few cores for "
+               "the processes to run in parallel).")
+            + " Rows are byte-identical on every server before timing."
+        ),
+    )
+    write_report("replica_read_scaling", table, data)
+    if enforced and speedup < REPLICA_GATE:
+        raise SystemExit(
+            f"replica read scaling gate failed: {speedup:.2f}x < "
+            f"{REPLICA_GATE:.1f}x aggregate at {replicas} replicas"
+        )
+    return data
+
+
 def test_mixed_contention_report(benchmark):
     data = benchmark.pedantic(_run_mixed_table, rounds=1, iterations=1)
     cells = data["readers"]
@@ -387,12 +600,23 @@ if __name__ == "__main__":
         f"{'/'.join(str(count) for count in WORKER_COUNTS)} readers",
     )
     parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        metavar="N",
+        help="measure aggregate read throughput across N subprocess "
+        "replicas vs the leader alone (byte-identical rows asserted; "
+        f"{REPLICA_GATE:.1f}x gate enforced when cores allow)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny dataset and batch; asserts row counts match across cells",
     )
     arguments = parser.parse_args()
-    if arguments.network:
+    if arguments.replicas:
+        _run_replica_table(arguments.replicas, smoke=arguments.smoke)
+    elif arguments.network:
         _run_network_table(smoke=arguments.smoke)
     elif arguments.mixed:
         _run_mixed_table()

@@ -1,0 +1,140 @@
+"""Shared plumbing for the CI smoke scripts: subprocess lifecycle.
+
+The smoke scripts boot real ``python -m repro.server`` / ``repro.router``
+subprocesses. Two failure modes used to make their flakes unreadable:
+
+* the old code blocked on one ``readline()`` for the listening banner — a
+  subprocess that died during import produced ``unexpected server banner:
+  ''`` with the actual traceback swallowed;
+* the first client connect raced the listener under load.
+
+:class:`SmokeProcess` fixes both: a pump thread captures *all* output, the
+banner wait has a deadline and reports the full captured output (including
+the subprocess's stderr, which is merged into stdout) when the process
+dies early, and :func:`connect_with_backoff` retries the initial connect
+instead of sleeping a fixed amount.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.join(REPO_ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.client import Client  # noqa: E402
+
+
+class SmokeProcess:
+    """A repro subprocess plus its captured output and listening address."""
+
+    def __init__(self, module_args, banner_timeout_s=30.0):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        env.setdefault("PYTHONUNBUFFERED", "1")
+        self.args = list(module_args)
+        self.process = subprocess.Popen(
+            [sys.executable, *self.args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        self.captured: list[str] = []
+        self._eof = threading.Event()
+        self._pump = threading.Thread(target=self._read_all, daemon=True)
+        self._pump.start()
+        self.host, self.port = self._await_banner(banner_timeout_s)
+
+    def _read_all(self) -> None:
+        for line in self.process.stdout:
+            self.captured.append(line)
+        self._eof.set()
+
+    def output(self) -> str:
+        return "".join(self.captured)
+
+    def _await_banner(self, timeout_s: float) -> tuple[str, int]:
+        deadline = time.monotonic() + timeout_s
+        scanned = 0
+        while True:
+            lines = self.captured
+            while scanned < len(lines):
+                line = lines[scanned].strip()
+                scanned += 1
+                if line.startswith("listening on "):
+                    host, _, port = line.removeprefix(
+                        "listening on "
+                    ).rpartition(":")
+                    return host, int(port)
+            if self._eof.is_set():
+                self.process.wait()
+                raise RuntimeError(
+                    f"{' '.join(self.args)} exited "
+                    f"{self.process.returncode} before listening; "
+                    f"output:\n{self.output()}"
+                )
+            if time.monotonic() >= deadline:
+                self.process.kill()
+                raise RuntimeError(
+                    f"{' '.join(self.args)} produced no listening banner "
+                    f"within {timeout_s:.0f}s; output so far:\n{self.output()}"
+                )
+            time.sleep(0.02)
+
+    def check_alive(self) -> None:
+        """Raise (with the captured output) if the subprocess died."""
+        if self.process.poll() is not None:
+            raise RuntimeError(
+                f"{' '.join(self.args)} died (exit {self.process.returncode}); "
+                f"output:\n{self.output()}"
+            )
+
+    def drain(self, timeout_s: float = 60.0) -> tuple[int, str]:
+        """SIGTERM, wait for exit, return (returncode, full output)."""
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+        try:
+            self.process.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait()
+        self._pump.join(timeout=10)
+        return self.process.returncode, self.output()
+
+    def kill(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait()
+
+
+def connect_with_backoff(
+    host: str,
+    port: int,
+    timeout_s: float = 15.0,
+    process: SmokeProcess = None,
+    **client_kw,
+) -> Client:
+    """Connect a client, retrying with exponential backoff. When
+    ``process`` is given and dies mid-retry, fail immediately with its
+    captured output instead of burning the whole deadline."""
+    deadline = time.monotonic() + timeout_s
+    delay = 0.05
+    while True:
+        if process is not None:
+            process.check_alive()
+        try:
+            return Client(host, port, **client_kw)
+        except OSError as exc:
+            if time.monotonic() >= deadline:
+                raise RuntimeError(
+                    f"could not connect to {host}:{port} within "
+                    f"{timeout_s:.0f}s: {exc}"
+                ) from exc
+            time.sleep(delay)
+            delay = min(delay * 2, 0.5)

@@ -16,15 +16,12 @@ Run from the repo root::
 """
 
 import os
-import signal
-import subprocess
 import sys
 import tempfile
 import threading
 import time
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+from _smoke_common import SmokeProcess, connect_with_backoff
 
 from repro.client import Client  # noqa: E402
 
@@ -34,26 +31,6 @@ SEED_ROWS = 120
 READS_PER_PHASE = 12
 P95_BUDGET = 3.0
 READ_QUERY = "MATCH (n:Seed) RETURN n.i AS i"
-
-
-def start_server(data_dir: str) -> tuple[subprocess.Popen, str, int]:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
-    env.setdefault("PYTHONUNBUFFERED", "1")
-    process = subprocess.Popen(
-        [sys.executable, "-m", "repro.server", "--data", data_dir, "--port", "0"],
-        stdout=subprocess.PIPE,
-        stderr=subprocess.STDOUT,
-        text=True,
-        env=env,
-        cwd=REPO_ROOT,
-    )
-    line = process.stdout.readline().strip()
-    if not line.startswith("listening on "):
-        process.kill()
-        raise RuntimeError(f"unexpected server banner: {line!r}")
-    host, _, port = line.removeprefix("listening on ").rpartition(":")
-    return process, host, int(port)
 
 
 def read_phase(host: str, port: int, failures: list) -> list:
@@ -101,9 +78,12 @@ def percentile(sorted_values: list, fraction: float) -> float:
 def main() -> int:
     with tempfile.TemporaryDirectory() as tmp:
         data_dir = os.path.join(tmp, "db")
-        process, host, port = start_server(data_dir)
+        smoke = SmokeProcess(
+            ["-m", "repro.server", "--data", data_dir, "--port", "0"]
+        )
+        host, port = smoke.host, smoke.port
         try:
-            with Client(host, port) as client:
+            with connect_with_backoff(host, port, process=smoke) as client:
                 for i in range(SEED_ROWS):
                     client.execute(f"CREATE (:Seed {{i: {i}}})")
 
@@ -147,11 +127,10 @@ def main() -> int:
                     print(f"{role} {slot} failed: {exc!r}", file=sys.stderr)
                 return 1
         finally:
-            process.send_signal(signal.SIGTERM)
-            output, _ = process.communicate(timeout=60)
+            returncode, output = smoke.drain()
 
-        if process.returncode != 0:
-            print(f"server exited {process.returncode}:\n{output}", file=sys.stderr)
+        if returncode != 0:
+            print(f"server exited {returncode}:\n{output}", file=sys.stderr)
             return 1
 
     idle_p95 = percentile(baseline, 0.95)

@@ -13,40 +13,17 @@ Run from the repo root::
 """
 
 import os
-import signal
-import subprocess
 import sys
 import tempfile
 import threading
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+from _smoke_common import SmokeProcess, connect_with_backoff
 
 from repro import GraphDatabase  # noqa: E402
 from repro.client import Client  # noqa: E402
 
 THREADS = 8
 WRITES_PER_WRITER = 25
-
-
-def start_server(data_dir: str) -> tuple[subprocess.Popen, str, int]:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
-    env.setdefault("PYTHONUNBUFFERED", "1")
-    process = subprocess.Popen(
-        [sys.executable, "-m", "repro.server", "--data", data_dir, "--port", "0"],
-        stdout=subprocess.PIPE,
-        stderr=subprocess.STDOUT,
-        text=True,
-        env=env,
-        cwd=REPO_ROOT,
-    )
-    line = process.stdout.readline().strip()
-    if not line.startswith("listening on "):
-        process.kill()
-        raise RuntimeError(f"unexpected server banner: {line!r}")
-    host, _, port = line.removeprefix("listening on ").rpartition(":")
-    return process, host, int(port)
 
 
 def worker(index: int, host: str, port: int, failures: list) -> None:
@@ -74,8 +51,14 @@ def worker(index: int, host: str, port: int, failures: list) -> None:
 def main() -> int:
     with tempfile.TemporaryDirectory() as tmp:
         data_dir = os.path.join(tmp, "db")
-        process, host, port = start_server(data_dir)
+        smoke = SmokeProcess(
+            ["-m", "repro.server", "--data", data_dir, "--port", "0"]
+        )
+        host, port = smoke.host, smoke.port
         try:
+            # First contact retries with backoff; a dead server fails fast
+            # with its captured stderr instead of a bare refused connect.
+            connect_with_backoff(host, port, process=smoke).close()
             failures: list = []
             threads = [
                 threading.Thread(target=worker, args=(i, host, port, failures))
@@ -95,11 +78,10 @@ def main() -> int:
                     "MATCH (n:S) RETURN n.owner AS owner, n.i AS i"
                 ).rows
         finally:
-            process.send_signal(signal.SIGTERM)
-            output, _ = process.communicate(timeout=60)
+            returncode, output = smoke.drain()
 
-        if process.returncode != 0:
-            print(f"server exited {process.returncode}:\n{output}", file=sys.stderr)
+        if returncode != 0:
+            print(f"server exited {returncode}:\n{output}", file=sys.stderr)
             return 1
         if "server drained cleanly" not in output:
             print(f"no clean-drain marker in output:\n{output}", file=sys.stderr)

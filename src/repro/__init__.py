@@ -36,10 +36,13 @@ from repro.errors import (
     ProtocolError,
     QueryCancelledError,
     QueryTimeoutError,
+    ReadOnlyReplicaError,
+    ReplicationError,
     ReproError,
     ServiceError,
     ServiceOverloadedError,
     ServiceShutdownError,
+    StalenessError,
     StorageError,
     TransactionError,
 )
@@ -86,6 +89,8 @@ __all__ = [
     "QueryStatus",
     "QueryTicket",
     "QueryTimeoutError",
+    "ReadOnlyReplicaError",
+    "ReplicationError",
     "ReproError",
     "Result",
     "ServiceConfig",
@@ -93,6 +98,7 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceShutdownError",
     "SimulatedCrashError",
+    "StalenessError",
     "StorageError",
     "TransactionError",
     "__version__",

@@ -170,14 +170,20 @@ class Client:
         query: Optional[str] = None,
         stmt: Optional[PreparedStatement | int] = None,
         deadline_s: Optional[float] = None,
+        require_lsn: Optional[int] = None,
     ) -> RemoteOutcome:
         """Run a query (text or prepared statement) and fetch every row.
 
         RUN and PULL(-1) are pipelined in one socket write; the rows come
         back as RECORD chunks followed by the summary SUCCESS.
+
+        ``require_lsn`` is the read-your-writes token: pass a previous
+        write's ``commit_lsn`` and the server (typically a replica, or the
+        router on your behalf) will wait until it has applied at least that
+        LSN before executing — or fail retryably with ``StalenessError``.
         """
         self._check_no_stream()
-        run_fields = self._run_fields(query, stmt, deadline_s)
+        run_fields = self._run_fields(query, stmt, deadline_s, require_lsn)
         self._send_many(
             (wire.MSG_RUN, run_fields), (wire.MSG_PULL, {"n": -1})
         )
@@ -227,6 +233,7 @@ class Client:
         stmt: Optional[PreparedStatement | int] = None,
         deadline_s: Optional[float] = None,
         credit: int = 256,
+        require_lsn: Optional[int] = None,
     ) -> "StreamingResult":
         """Run a query and iterate rows in bounded credit cycles.
 
@@ -237,17 +244,27 @@ class Client:
         if credit < 1:
             raise ValueError("credit must be positive")
         self._check_no_stream()
-        self._send(wire.MSG_RUN, self._run_fields(query, stmt, deadline_s))
+        self._send(
+            wire.MSG_RUN, self._run_fields(query, stmt, deadline_s, require_lsn)
+        )
         run_reply = self._expect_success()
         columns = list(run_reply.get("columns") or [])
         self._stream = StreamingResult(self, columns, credit)
         return self._stream
+
+    def status(self) -> dict:
+        """The server's STATUS fields: role, LSN watermarks, replication
+        lag, subscriber/session counts."""
+        self._check_no_stream()
+        self._send(wire.MSG_STATUS, {})
+        return self._expect_success()
 
     @staticmethod
     def _run_fields(
         query: Optional[str],
         stmt: Optional[PreparedStatement | int],
         deadline_s: Optional[float],
+        require_lsn: Optional[int] = None,
     ) -> dict:
         if (query is None) == (stmt is None):
             raise ValueError("pass exactly one of query or stmt")
@@ -258,6 +275,8 @@ class Client:
             fields["stmt"] = stmt.stmt if isinstance(stmt, PreparedStatement) else stmt
         if deadline_s is not None:
             fields["deadline_s"] = deadline_s
+        if require_lsn is not None:
+            fields["require_lsn"] = require_lsn
         return fields
 
     # ------------------------------------------------------------------

@@ -50,12 +50,15 @@ def write_snapshot_state(
     db: GraphDatabase,
     path: Path,
     on_progress: Optional[Callable[[str], None]] = None,
+    extra_metadata: Optional[dict] = None,
 ) -> None:
     """Write every snapshot file for ``db`` into the existing ``path``.
 
     ``on_progress`` is invoked with each file's name just after it is
     written — the checkpoint engine uses it to expose a mid-snapshot
-    fault-injection point.
+    fault-injection point. ``extra_metadata`` keys are merged into
+    ``metadata.json`` (the checkpoint engine records its base LSNs there,
+    which replication and LSN continuity across restarts depend on).
     """
 
     def progress(name: str) -> None:
@@ -70,6 +73,8 @@ def write_snapshot_state(
         "dense_node_threshold": store.dense_node_threshold,
         "page_size": db.page_cache.page_size,
     }
+    if extra_metadata:
+        metadata.update(extra_metadata)
     (path / "metadata.json").write_text(json.dumps(metadata, indent=2))
     progress("metadata.json")
     (path / "tokens.json").write_text(

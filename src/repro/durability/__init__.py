@@ -24,15 +24,17 @@ from repro.durability.engine import DurabilityConfig, DurabilityEngine
 from repro.durability.faults import (
     CHECKPOINT_KILL_POINTS,
     KILL_POINTS,
+    REPLICATION_KILL_POINTS,
     SPILL_KILL_POINTS,
     WAL_KILL_POINTS,
     FaultInjector,
     SimulatedCrashError,
 )
-from repro.durability.wal import WriteAheadLog, scan_records
+from repro.durability.wal import WriteAheadLog, iter_tail_frames, scan_records
 
 __all__ = [
     "CHECKPOINT_KILL_POINTS",
+    "REPLICATION_KILL_POINTS",
     "SPILL_KILL_POINTS",
     "DurabilityConfig",
     "DurabilityEngine",
@@ -41,5 +43,6 @@ __all__ = [
     "SimulatedCrashError",
     "WAL_KILL_POINTS",
     "WriteAheadLog",
+    "iter_tail_frames",
     "scan_records",
 ]

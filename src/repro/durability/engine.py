@@ -106,6 +106,7 @@ class DurabilityEngine:
         last_seq: int,
         replayed_records: int,
         replayed_bytes: int,
+        segment_floor: int = 0,
     ) -> None:
         self.directory = Path(directory)
         self.db = db
@@ -116,6 +117,15 @@ class DurabilityEngine:
         self._seq = last_seq
         self._appended_seq = last_seq
         self._durable_seq = last_seq
+        # Highest WAL sequence folded into the live checkpoint: every
+        # record in the current segment has seq > _segment_floor, and a
+        # replication subscriber whose start LSN is below it must catch up
+        # from the checkpoint instead (those records are gone).
+        self._segment_floor = segment_floor
+        # True while apply_replicated replays a shipped record: the replay
+        # path runs through the live mutation/DDL API, which must not log
+        # fresh records for changes that came *from* the log.
+        self._replicating = False
         self._records_since_checkpoint = replayed_records
         self._bytes_since_checkpoint = replayed_bytes
         store = db.store
@@ -182,6 +192,8 @@ class DurabilityEngine:
         if maintenance_strategy is not None:
             db_kwargs["maintenance_strategy"] = maintenance_strategy
 
+        base_lsn = 0
+        segment_floor = 0
         current = directory / "CURRENT"
         if current.exists():
             # Existing database: configuration that shapes the stored
@@ -189,6 +201,12 @@ class DurabilityEngine:
             checkpoint_id = int(current.read_text().strip())
             checkpoint_dir = directory / _checkpoint_name(checkpoint_id)
             metadata = read_snapshot_metadata(checkpoint_dir)
+            # LSN continuity across restarts: the checkpoint records the
+            # publish watermark it folded (base_lsn) and the highest WAL
+            # sequence it absorbed (base_wal_seq), so sequences — and the
+            # read-your-writes tokens minted from them — never restart.
+            base_lsn = int(metadata.get("base_lsn", 0))
+            segment_floor = int(metadata.get("base_wal_seq", base_lsn))
             db = GraphDatabase(
                 page_size=metadata.get("page_size", 8192),
                 dense_node_threshold=metadata.get("dense_node_threshold", 50),
@@ -215,7 +233,7 @@ class DurabilityEngine:
             # Torn/corrupt tail: physically discard it before appending.
             with open(wal_path, "r+b") as handle:
                 handle.truncate(valid_length)
-        last_seq = 0
+        last_seq = base_lsn
         for payload in payloads:
             record_type, body = decode_record(payload)
             seq = record_seq(body)
@@ -244,6 +262,7 @@ class DurabilityEngine:
             last_seq,
             replayed_records=len(payloads),
             replayed_bytes=max(0, valid_length - len(WAL_HEADER)),
+            segment_floor=segment_floor,
         )
         db.durability = engine
         db.tx_manager.register_applier(_WalApplier(engine))
@@ -282,6 +301,8 @@ class DurabilityEngine:
         Called from the applier with the store fully updated. Read-only and
         token-only transactions write nothing (token registrations become
         durable as the prefix of the next real commit record)."""
+        if self._replicating:
+            return
         self.injector.check()
         ops = collect_operations(state)
         index_changes = list(self.db.maintainer.last_changes)
@@ -326,6 +347,8 @@ class DurabilityEngine:
         populate: bool = True,
     ) -> None:
         """Log a path-index create/drop (replayed by re-running the DDL)."""
+        if self._replicating:
+            return
         self.injector.check()
         with self._lock:
             seq = max(self._seq, self.db.store.mvcc.published) + 1
@@ -459,10 +482,17 @@ class DurabilityEngine:
             if tmp.exists():
                 shutil.rmtree(tmp)
             tmp.mkdir()
+            # The snapshot absorbs every appended record and the publish
+            # watermark (rollbacks mint LSNs above the last append); both
+            # are recorded so reopen resumes the sequence and replication
+            # knows which start LSNs this segment can still serve.
+            floor = self._appended_seq
+            watermark = max(self._appended_seq, self.db.store.mvcc.published)
             write_snapshot_state(
                 self.db,
                 tmp,
                 on_progress=lambda _name: injector.reach("checkpoint.mid_snapshot"),
+                extra_metadata={"base_lsn": watermark, "base_wal_seq": floor},
             )
             _fsync_tree(tmp)
             injector.reach("checkpoint.before_rename")
@@ -492,6 +522,7 @@ class DurabilityEngine:
             shutil.rmtree(old_checkpoint, ignore_errors=True)
             injector.reach("checkpoint.after")
             self._checkpoint_id = next_id
+            self._segment_floor = floor
             self._records_since_checkpoint = 0
             self._bytes_since_checkpoint = 0
             self.checkpoints_completed += 1
@@ -499,6 +530,129 @@ class DurabilityEngine:
             # fold stamped index deltas (skipped automatically while any
             # snapshot is live). Already under the write lock here.
             self.db.store.collect_versions()
+
+    # ------------------------------------------------------------------
+    # Replication (leader side: segment iteration + checkpoint shipping;
+    # replica side: idempotent record application + snapshot install)
+    # ------------------------------------------------------------------
+
+    def maybe_checkpoint(self) -> bool:
+        """Checkpoint now if the configured interval is exceeded (the
+        replica apply loop calls this — its records bypass the commit
+        path's auto-checkpoint trigger)."""
+        if self.config.auto_checkpoint and self._should_checkpoint():
+            self.checkpoint()
+            return True
+        return False
+
+    def replication_position(self) -> dict:
+        """Where the live segment is, for the leader-side shipper.
+
+        The shipper compares ``checkpoint_id`` across polls to notice the
+        segment being swapped out underneath it, and ``segment_floor`` to
+        decide whether a subscriber's start LSN can still be served from
+        the log (``from_lsn >= segment_floor``) or requires checkpoint
+        catch-up. Only records with ``seq <= durable_seq`` may ship: a
+        replica must never apply a record the leader could lose.
+        """
+        with self._lock:
+            return {
+                "checkpoint_id": self._checkpoint_id,
+                "wal_path": self._wal.path,
+                "segment_floor": self._segment_floor,
+                "durable_seq": self._durable_seq,
+            }
+
+    def applied_lsn(self) -> int:
+        """The highest LSN this database has applied/published."""
+        return max(self._seq, self.db.store.mvcc.published)
+
+    def read_checkpoint(self) -> tuple[int, dict[str, bytes]]:
+        """The live checkpoint's files, for shipping to a lagging replica.
+
+        Returns ``(resume_lsn, files)``: after installing ``files`` the
+        replica holds every change up to ``resume_lsn`` (the segment
+        floor) and resubscribes from there. Read under the engine lock so
+        a concurrent checkpoint cannot delete the directory mid-read.
+        """
+        self.injector.check()
+        with self._lock:
+            checkpoint_dir = self.directory / _checkpoint_name(self._checkpoint_id)
+            files = {
+                entry.name: entry.read_bytes()
+                for entry in sorted(checkpoint_dir.iterdir())
+                if entry.is_file()
+            }
+            return self._segment_floor, files
+
+    def apply_replicated(self, payload: bytes) -> Optional[int]:
+        """Apply one shipped log record; returns its LSN, or None if it
+        was already applied (re-delivery after a reconnect is a no-op —
+        idempotence comes from the monotonic sequence check, same as
+        recovery's backwards-sequence guard).
+
+        Runs under the store's exclusive writer lock so snapshot readers
+        stay lock-free and consistent: the record's versions are pending
+        (invisible) until ``publish_commit`` stamps them, and the lock
+        keeps ``db.snapshot()``'s orphan-adoption path from publishing
+        them early. The original payload bytes are appended verbatim to
+        the replica's own WAL, so its directory recovers exactly like a
+        leader's.
+        """
+        self.injector.check()
+        record_type, body = decode_record(payload)
+        seq = record_seq(body)
+        store = self.db.store
+        with store.mvcc.exclusive_writer(), self._lock:
+            if seq <= max(self._seq, store.mvcc.published):
+                return None
+            self._replicating = True
+            try:
+                if record_type == REC_COMMIT:
+                    apply_commit_record(self.db, body)
+                else:
+                    apply_ddl_record(self.db, body)
+            finally:
+                self._replicating = False
+            self._append(payload, seq)
+            store.publish_commit(seq)
+            # Token registries advanced via the record's token suffix;
+            # keep the logged-token cursors in step in case this database
+            # is ever promoted to accept writes of its own.
+            self._logged_labels = len(store.labels.all_tokens())
+            self._logged_types = len(store.types.all_tokens())
+            self._logged_keys = len(store.property_keys.all_tokens())
+        return seq
+
+    @staticmethod
+    def install_checkpoint(directory: Union[str, Path], files: dict) -> None:
+        """Install shipped checkpoint files as ``directory``'s live pair.
+
+        The replica's catch-up path: writes the files into a fresh
+        checkpoint directory (same tmp → fsync → rename → ``CURRENT``
+        dance as a local checkpoint, so a crash mid-install leaves the old
+        pair intact), then sweeps the obsolete pair. The caller re-opens
+        the directory afterwards; the paired WAL segment starts empty.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        current = directory / "CURRENT"
+        next_id = 1
+        if current.exists():
+            next_id = int(current.read_text().strip()) + 1
+        tmp = directory / (_checkpoint_name(next_id) + ".tmp")
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir()
+        for name, data in files.items():
+            if "/" in name or name.startswith("."):
+                raise DurabilityError(f"unsafe checkpoint file name {name!r}")
+            (tmp / name).write_bytes(data)
+        _fsync_tree(tmp)
+        os.replace(tmp, directory / _checkpoint_name(next_id))
+        _fsync_dir(directory)
+        _switch_current(directory, next_id)
+        _clean_orphans(directory, next_id)
 
     # ------------------------------------------------------------------
     # Lifecycle / introspection
@@ -531,6 +685,7 @@ class DurabilityEngine:
             "synced_commits": self.synced_commits,
             "last_group_size": self.last_group_size,
             "checkpoints": self.checkpoints_completed,
+            "segment_floor": self._segment_floor,
             "recovered_records": self.recovered_records,
             "records_since_checkpoint": self._records_since_checkpoint,
             "bytes_since_checkpoint": self._bytes_since_checkpoint,

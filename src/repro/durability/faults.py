@@ -47,7 +47,24 @@ SPILL_KILL_POINTS = (
 run-file write, k-way merge). A crash here leaves orphaned ``*.spill``
 files that recovery must sweep."""
 
-KILL_POINTS = WAL_KILL_POINTS + CHECKPOINT_KILL_POINTS + SPILL_KILL_POINTS
+REPLICATION_KILL_POINTS = (
+    "ship.before_segment",
+    "ship.torn_segment",
+    "replica.apply.mid_batch",
+)
+"""Kill-points on the replication path. ``ship.before_segment`` kills the
+leader just before it ships the next WAL_SEGMENT (leader crash mid-ship);
+``ship.torn_segment`` makes the leader write *half* of the encoded segment
+frame and then die, so the replica sees a torn stream mid-frame;
+``replica.apply.mid_batch`` kills the replica between two records of one
+shipped batch (crash mid-apply)."""
+
+KILL_POINTS = (
+    WAL_KILL_POINTS
+    + CHECKPOINT_KILL_POINTS
+    + SPILL_KILL_POINTS
+    + REPLICATION_KILL_POINTS
+)
 """Every named kill-point, in commit-then-checkpoint order."""
 
 

@@ -64,6 +64,42 @@ def scan_records(path: Union[str, Path]) -> tuple[list[bytes], int]:
     return payloads, offset
 
 
+def iter_tail_frames(
+    path: Union[str, Path], offset: int
+) -> tuple[list[tuple[bytes, int]], int]:
+    """Parse whole frames from byte ``offset`` onward (for WAL shipping).
+
+    Returns ``(frames, end_offset)`` where each frame is ``(payload,
+    offset_just_past_it)`` and ``end_offset`` is where the next call should
+    resume. Unlike :func:`scan_records` this is tolerant by design: a torn
+    or corrupt tail just stops the iteration — a concurrent append looks
+    torn until its write completes, so the shipper re-reads from
+    ``end_offset`` on its next poll. A missing file (the segment was just
+    swapped by a checkpoint) yields ``([], offset)``.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return [], offset
+    if len(data) < len(WAL_HEADER) or data[: len(WAL_HEADER)] != WAL_HEADER:
+        return [], offset
+    offset = max(offset, len(WAL_HEADER))
+    frames: list[tuple[bytes, int]] = []
+    while True:
+        if offset + _FRAME.size > len(data):
+            break
+        length, crc = _FRAME.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES or offset + _FRAME.size + length > len(data):
+            break
+        payload = data[offset + _FRAME.size : offset + _FRAME.size + length]
+        if zlib.crc32(payload) != crc:
+            break
+        offset += _FRAME.size + length
+        frames.append((payload, offset))
+    return frames, offset
+
+
 class WriteAheadLog:
     """Append-only writer over one log segment file.
 

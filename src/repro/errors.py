@@ -122,3 +122,38 @@ class QueryTimeoutError(QueryCancelledError, TimeoutError):
 
     def __init__(self, message: str = "query deadline exceeded", rows_produced: int = 0):
         super().__init__(message, rows_produced)
+
+
+class ReplicationError(ServiceError):
+    """The replication stream was violated or could not make progress
+    (unexpected shipping frame, subscription to a non-durable server,
+    catch-up failure)."""
+
+
+class ReadOnlyReplicaError(ServiceError):
+    """A write statement reached a read-only replica.
+
+    The message names the leader address so clients (and the router) know
+    where writes belong.
+    """
+
+    def __init__(self, message: str = "replica is read-only", leader: str = "") -> None:
+        super().__init__(message)
+        self.leader = leader
+
+
+class StalenessError(ServiceError):
+    """A read demanded ``require_lsn`` freshness the server could not reach
+    within its wait budget. Retryable: the same read succeeds once the
+    replica catches up, or on a fresher endpoint (the router re-routes it).
+    """
+
+    def __init__(
+        self,
+        message: str = "replica has not applied the required LSN",
+        require_lsn: int = 0,
+        applied_lsn: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.require_lsn = require_lsn
+        self.applied_lsn = applied_lsn

@@ -1,0 +1,23 @@
+"""Log-shipping replication: replicas tail the leader's WAL over the wire.
+
+The durability engine's redo log is a replication stream for free — records
+are self-delimiting, CRC-framed, carry their LSN, and replay is
+deterministic and id-identical. This package adds the follower side:
+
+* :class:`Replica` — owns a durable :class:`~repro.db.database.GraphDatabase`
+  directory and a tailer thread that subscribes to the leader (SUBSCRIBE
+  from its applied LSN), applies shipped records through the recovery
+  replay path under the MVCC writer lock, publishes each batch via
+  ``publish_commit(lsn)`` (snapshot reads stay lock-free and consistent
+  mid-apply), fsyncs its own WAL before acknowledging (an ACKed LSN can
+  never regress), and catches up from a shipped checkpoint when its start
+  LSN was folded away.
+
+The leader side (subscriber registry, segment iteration, checkpoint
+shipping, backpressure) lives in :mod:`repro.server.server`; the read/write
+routing front end in :mod:`repro.router`.
+"""
+
+from repro.replication.replica import Replica, ReplicaConfig
+
+__all__ = ["Replica", "ReplicaConfig"]

@@ -1,0 +1,395 @@
+"""The follower: tails the leader's WAL over the wire and applies it.
+
+One :class:`Replica` owns a durable database directory and a daemon tailer
+thread. The thread's life is a reconnect loop around one subscription:
+
+1. connect, HELLO, then ``SUBSCRIBE {"from_lsn": <applied LSN>}``;
+2. if the leader answers ``mode="snapshot"`` (our LSN was folded into a
+   checkpoint), receive the checkpoint files, install them as this
+   directory's live pair (same atomic ``CURRENT`` dance as a local
+   checkpoint), re-open the database and swap it into the serving layer
+   via ``on_swap`` (the query service's :meth:`swap_database`);
+3. stream ``WAL_SEGMENT`` frames: each record is applied through
+   :meth:`DurabilityEngine.apply_replicated` — the recovery replay path,
+   run under the store's exclusive writer lock, publishing via
+   ``publish_commit(lsn)`` so concurrent snapshot reads stay lock-free and
+   consistent mid-apply — appended verbatim to the replica's own WAL, then
+   the batch is **fsynced before the WAL_ACK** (an acknowledged LSN can
+   never regress across a replica crash);
+4. on any error, reconnect with backoff and resubscribe from the applied
+   LSN. Records the leader re-ships across a reconnect are skipped by
+   ``apply_replicated``'s monotonic sequence check (idempotence).
+
+``pause_apply``/``resume_apply`` freeze the loop between records — the
+router tests use this to manufacture an arbitrarily lagged replica; the
+leader's unacked-bytes window then exerts real backpressure.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro import wire
+from repro.db.database import GraphDatabase
+from repro.durability.engine import DurabilityEngine
+from repro.durability.faults import FaultInjector, SimulatedCrashError
+from repro.errors import ProtocolError, ReplicationError, ReproError
+
+
+@dataclass(frozen=True)
+class ReplicaConfig:
+    """Tuning knobs for a :class:`Replica` tailer."""
+
+    reconnect_backoff_s: float = 0.05
+    """First reconnect delay; doubles per failure up to the max."""
+
+    reconnect_backoff_max_s: float = 2.0
+
+    io_timeout_s: float = 30.0
+    """Socket timeout while waiting for leader frames. The leader
+    heartbeats every ``heartbeat_s`` (default 1s), so a healthy link never
+    gets near this."""
+
+    auth_token: Optional[str] = None
+    """Leader's auth token, when it requires one."""
+
+
+def parse_address(address: Union[str, tuple[str, int]]) -> tuple[str, int]:
+    """``"host:port"`` (or a ready tuple) → ``(host, port)``."""
+    if isinstance(address, tuple):
+        return address[0], int(address[1])
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected host:port, got {address!r}")
+    return host, int(port)
+
+
+class Replica:
+    """A read-only follower of one leader, applying its shipped WAL."""
+
+    def __init__(
+        self,
+        data_dir: Union[str, Path],
+        leader: Union[str, tuple[str, int]],
+        config: Optional[ReplicaConfig] = None,
+        injector: Optional[FaultInjector] = None,
+        on_swap: Optional[Callable[[GraphDatabase], None]] = None,
+        metrics=None,
+        **open_kwargs,
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self.leader = parse_address(leader)
+        self.leader_name = f"{self.leader[0]}:{self.leader[1]}"
+        self.config = config or ReplicaConfig()
+        self.injector = injector if injector is not None else FaultInjector()
+        self._on_swap = on_swap
+        self._metrics = metrics
+        self._open_kwargs = dict(open_kwargs)
+        self.db = GraphDatabase.open(
+            self.data_dir, fault_injector=self.injector, **self._open_kwargs
+        )
+        self._cond = threading.Condition()
+        self._applied = self.db.durability.applied_lsn()
+        self._leader_durable = 0
+        self._connected = False
+        self._reconnects = 0
+        self._snapshots_installed = 0
+        self._records_applied = 0
+        self._last_error: Optional[str] = None
+        self.crashed = False
+        self._stop = threading.Event()
+        self._resume = threading.Event()
+        self._resume.set()
+        self._sock: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def attach(self, on_swap=None, metrics=None) -> "Replica":
+        """Late-bind the swap callback and metrics registry. The serving
+        stack is built around ``replica.db``, so the query service (whose
+        ``swap_database`` we call after a snapshot install) only exists
+        after the replica does."""
+        if on_swap is not None:
+            self._on_swap = on_swap
+        if metrics is not None:
+            self._metrics = metrics
+        return self
+
+    def start(self) -> "Replica":
+        if self._thread is not None:
+            raise RuntimeError("replica already started")
+        self._thread = threading.Thread(
+            target=self._tail_loop, name="repro-replica-tailer", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop tailing and close the database (idempotent)."""
+        self._stop.set()
+        self._resume.set()
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=30)
+        if not self.crashed:
+            self.db.close()
+
+    def __enter__(self) -> "Replica":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Introspection / test hooks
+    # ------------------------------------------------------------------
+
+    @property
+    def applied_lsn(self) -> int:
+        with self._cond:
+            return self._applied
+
+    @property
+    def connected(self) -> bool:
+        return self._connected
+
+    def status_fields(self) -> dict:
+        with self._cond:
+            applied = self._applied
+            durable = self._leader_durable
+        return {
+            "replica_connected": self._connected,
+            "replica_applied_lsn": applied,
+            "replica_lag_lsn": max(0, durable - applied),
+            "replica_reconnects": self._reconnects,
+            "replica_snapshots_installed": self._snapshots_installed,
+            "leader_durable_lsn": durable,
+        }
+
+    def wait_for_lsn(self, lsn: int, timeout_s: float = 30.0) -> bool:
+        """Block until this replica has applied/published ``lsn``."""
+        deadline = time.monotonic() + timeout_s
+        with self._cond:
+            while self._applied < lsn:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self.crashed:
+                    return False
+                self._cond.wait(remaining)
+        return True
+
+    def wait_connected(self, timeout_s: float = 30.0) -> bool:
+        deadline = time.monotonic() + timeout_s
+        while not self._connected:
+            if time.monotonic() >= deadline or self._stop.is_set():
+                return False
+            time.sleep(0.005)
+        return True
+
+    def pause_apply(self) -> None:
+        """Test hook: freeze the apply loop before its next record. The
+        leader keeps shipping until its unacked window fills — this is how
+        the router tests manufacture a lagged replica."""
+        self._resume.clear()
+
+    def resume_apply(self) -> None:
+        self._resume.set()
+
+    # ------------------------------------------------------------------
+    # Tailer
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc(amount)
+
+    def _tail_loop(self) -> None:
+        backoff = self.config.reconnect_backoff_s
+        first_attempt = True
+        while not self._stop.is_set():
+            if not first_attempt:
+                self._reconnects += 1
+                self._count("replication.reconnects")
+                if self._stop.wait(backoff):
+                    return
+                backoff = min(backoff * 2, self.config.reconnect_backoff_max_s)
+            first_attempt = False
+            try:
+                self._tail_once()
+                backoff = self.config.reconnect_backoff_s
+            except SimulatedCrashError:
+                # The fault injector killed this replica "process": stop
+                # doing I/O entirely; the test re-opens the directory.
+                self.crashed = True
+                self._connected = False
+                with self._cond:
+                    self._cond.notify_all()
+                return
+            except (ReproError, OSError, ValueError) as exc:
+                self._last_error = f"{type(exc).__name__}: {exc}"
+                self._connected = False
+
+    def _tail_once(self) -> None:
+        sock = socket.create_connection(
+            self.leader, timeout=self.config.io_timeout_s
+        )
+        self._sock = sock
+        reader = wire.FrameReader()
+        try:
+            sock.settimeout(self.config.io_timeout_s)
+            hello: dict = {"versions": [wire.PROTOCOL_VERSION], "client": "repro-replica"}
+            if self.config.auth_token is not None:
+                hello["auth"] = {"token": self.config.auth_token}
+            self._send(sock, wire.MSG_HELLO, hello)
+            self._expect_success(self._recv(sock, reader))
+            self._send(sock, wire.MSG_SUBSCRIBE, {"from_lsn": self.applied_lsn})
+            fields = self._expect_success(self._recv(sock, reader))
+            if fields.get("mode") == "snapshot":
+                self._receive_snapshot(sock, reader)
+            self._connected = True
+            while not self._stop.is_set():
+                tag, fields = self._recv(sock, reader)
+                if tag == wire.MSG_WAL_SEGMENT:
+                    self._apply_segment(sock, fields)
+                elif tag == wire.MSG_FAILURE:
+                    wire.raise_failure(fields)
+                else:
+                    raise ProtocolError(
+                        f"unexpected {wire.MESSAGE_NAMES[tag]} frame on the "
+                        "subscription stream"
+                    )
+        finally:
+            self._connected = False
+            self._sock = None
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- frame I/O ------------------------------------------------------
+
+    @staticmethod
+    def _send(sock: socket.socket, tag: int, fields: dict) -> None:
+        sock.sendall(wire.encode_frame(tag, fields))
+
+    @staticmethod
+    def _recv(sock: socket.socket, reader: wire.FrameReader) -> tuple[int, dict]:
+        while True:
+            frame = reader.pop()
+            if frame is not None:
+                return frame
+            data = sock.recv(1 << 16)
+            if not data:
+                reader.close()  # raises if mid-frame (torn stream)
+                raise ProtocolError("leader closed the connection")
+            reader.feed(data)
+
+    @staticmethod
+    def _expect_success(frame: tuple[int, dict]) -> dict:
+        tag, fields = frame
+        if tag == wire.MSG_FAILURE:
+            wire.raise_failure(fields)
+        if tag != wire.MSG_SUCCESS:
+            raise ProtocolError(
+                f"expected SUCCESS, got {wire.MESSAGE_NAMES[tag]}"
+            )
+        return fields
+
+    # -- snapshot catch-up ---------------------------------------------
+
+    def _receive_snapshot(self, sock: socket.socket, reader: wire.FrameReader) -> None:
+        """Receive checkpoint files, install them, swap the database."""
+        files: dict[str, bytearray] = {}
+        while True:
+            tag, fields = self._recv(sock, reader)
+            if tag == wire.MSG_SNAPSHOT_FILE:
+                name = fields.get("name")
+                data = fields.get("data")
+                if not isinstance(name, str) or not isinstance(data, bytes):
+                    raise ProtocolError("malformed SNAPSHOT_FILE frame")
+                files.setdefault(name, bytearray()).extend(data)
+            elif tag == wire.MSG_SUCCESS and fields.get("snapshot_complete"):
+                break
+            elif tag == wire.MSG_FAILURE:
+                wire.raise_failure(fields)
+            else:
+                raise ProtocolError(
+                    f"unexpected {wire.MESSAGE_NAMES[tag]} during snapshot "
+                    "catch-up"
+                )
+        if "metadata.json" not in files:
+            raise ReplicationError("shipped checkpoint is missing metadata.json")
+        old_db = self.db
+        old_db.durability.close()
+        DurabilityEngine.install_checkpoint(
+            self.data_dir, {name: bytes(data) for name, data in files.items()}
+        )
+        new_db = GraphDatabase.open(
+            self.data_dir, fault_injector=self.injector, **self._open_kwargs
+        )
+        with self._cond:
+            self.db = new_db
+            self._applied = new_db.durability.applied_lsn()
+            self._snapshots_installed += 1
+            self._cond.notify_all()
+        if self._on_swap is not None:
+            self._on_swap(new_db)
+        old_db.close()
+        self._count("replication.snapshots_installed")
+
+    # -- record application --------------------------------------------
+
+    def _apply_segment(self, sock: socket.socket, fields: dict) -> None:
+        records = fields.get("records")
+        if records is None:
+            records = []
+        if not isinstance(records, list):
+            raise ProtocolError("WAL_SEGMENT records must be a list")
+        durable = fields.get("durable_lsn")
+        if isinstance(durable, int) and not isinstance(durable, bool):
+            with self._cond:
+                self._leader_durable = max(self._leader_durable, durable)
+        engine = self.db.durability
+        applied_any = False
+        for index, payload in enumerate(records):
+            if not isinstance(payload, bytes):
+                raise ProtocolError("WAL_SEGMENT records must be bytes")
+            while not self._resume.is_set():
+                if self._stop.is_set():
+                    return
+                self._resume.wait(0.05)
+            if self._stop.is_set():
+                return
+            if index:
+                # Crash-between-records kill-point (the batch's first
+                # record is already applied and logged when this fires).
+                engine.injector.reach("replica.apply.mid_batch")
+            if engine.apply_replicated(payload) is not None:
+                applied_any = True
+                self._records_applied += 1
+                self._count("replication.records_applied")
+        if applied_any:
+            # Fsync before acknowledging: the ACKed LSN must survive a
+            # replica crash, or the leader could trim/forget records this
+            # replica still needs.
+            engine.sync(engine.applied_lsn())
+        with self._cond:
+            self._applied = max(self._applied, engine.applied_lsn())
+            applied = self._applied
+            self._cond.notify_all()
+        self._send(sock, wire.MSG_WAL_ACK, {"applied_lsn": applied})
+        if applied_any:
+            engine.maybe_checkpoint()

@@ -1,0 +1,23 @@
+"""The read router: one endpoint fanning out over a leader and N replicas.
+
+Clients speak the ordinary binary protocol to the router (it is
+indistinguishable from a server — the shell's ``:connect`` just works).
+The router classifies each RUN with the same pure ``analyze(parse(q))``
+pass the servers use, forwards writes to the leader, and spreads reads
+across healthy replicas:
+
+* **read-your-writes** — each session carries a token, the highest
+  ``commit_lsn`` its writes have returned. Reads only go to a replica
+  whose applied LSN has reached the token (the token is also forwarded as
+  ``require_lsn`` so the replica double-checks server-side); otherwise the
+  read is re-routed — next replica, ultimately the leader.
+* **bounded staleness** — token-free reads accept any replica within the
+  configured lag bound; a per-query ``require_lsn`` overrides either way.
+* **health** — a poller tracks every replica's applied LSN via STATUS,
+  evicts laggards and dead backends from rotation, and re-admits them once
+  they catch back up.
+"""
+
+from repro.router.router import Router, RouterConfig
+
+__all__ = ["Router", "RouterConfig"]

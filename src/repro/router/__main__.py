@@ -1,0 +1,101 @@
+"""``python -m repro.router`` — the read-routing front door.
+
+Usage::
+
+    python -m repro.router --leader 127.0.0.1:7687 \
+        --replica 127.0.0.1:7688 --replica 127.0.0.1:7689 --port 7686
+
+Clients connect to the router exactly as they would to a server (the
+shell's ``:connect``, the :class:`~repro.client.Client`, the benchmarks);
+writes are forwarded to the leader and reads are spread across healthy,
+sufficiently-caught-up replicas with per-session read-your-writes.
+
+The first stdout line is ``listening on HOST:PORT`` (same contract as the
+server, so smoke wrappers can discover an ephemeral port); on SIGTERM or
+SIGINT it drains and prints ``router drained cleanly``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+from typing import Optional
+
+from repro.router import Router, RouterConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.router",
+        description="pathindex-repro read router (binary protocol)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=7686, help="TCP port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--leader",
+        required=True,
+        metavar="HOST:PORT",
+        help="the write leader's address",
+    )
+    parser.add_argument(
+        "--replica",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="a read replica's address (repeatable)",
+    )
+    parser.add_argument(
+        "--auth-token", help="require this token from connecting clients"
+    )
+    parser.add_argument(
+        "--backend-auth-token",
+        help="token to present to the leader and replicas (defaults to "
+        "--auth-token)",
+    )
+    parser.add_argument(
+        "--max-lag-lsn",
+        type=int,
+        default=512,
+        help="evict replicas lagging more than this many LSNs",
+    )
+    parser.add_argument(
+        "--health-interval-s",
+        type=float,
+        default=0.2,
+        help="replica STATUS poll interval",
+    )
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    router = Router(
+        RouterConfig(
+            leader=args.leader,
+            replicas=tuple(args.replica),
+            host=args.host,
+            port=args.port,
+            auth_token=args.auth_token,
+            backend_auth_token=args.backend_auth_token or args.auth_token,
+            max_lag_lsn=args.max_lag_lsn,
+            health_interval_s=args.health_interval_s,
+        )
+    )
+    host, port = router.start()
+    print(f"listening on {host}:{port}", flush=True)
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    stop.wait()
+    print("draining...", flush=True)
+    router.stop()
+    print("router drained cleanly", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

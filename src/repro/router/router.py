@@ -1,0 +1,728 @@
+"""Protocol-transparent read router over one leader and N replicas.
+
+The router accepts ordinary client sessions and proxies each request to a
+backend, frame for frame. Writes go to the leader; reads round-robin over
+replicas that are healthy *and* current enough for the session:
+
+* every write's ``commit_lsn`` (sniffed from the relayed summary) becomes
+  the session's read-your-writes token;
+* a read is only sent to a replica whose last-polled applied LSN has
+  reached the token, and the token rides along as ``require_lsn`` so the
+  replica re-checks server-side (the poll is only eventually consistent);
+* a replica that still answers with ``StalenessError`` — or drops the
+  connection — costs a ``router.reroutes`` and the read moves on: next
+  replica, ultimately the leader, which is always current.
+
+Classification uses the same pure ``analyze(parse(query))`` pass the
+servers run, memoised per query text; queries that do not parse are
+forwarded to the leader so the client sees the backend's own error,
+byte-identical to a single-server deployment.
+
+Health: a poller thread issues STATUS to every replica. Lag above
+``max_lag_lsn`` or repeated failures evict a replica from rotation
+(``router.evictions``); a healthy poll within the bound re-admits it
+(``router.readmissions``). Eviction only stops *new* reads — it never
+interrupts a result mid-stream.
+"""
+
+from __future__ import annotations
+
+import hmac
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro import wire
+from repro.cypher import analyze, parse
+from repro.errors import (
+    AuthenticationError,
+    ProtocolError,
+    ReadOnlyReplicaError,
+    ReproError,
+    ServiceShutdownError,
+    StalenessError,
+)
+from repro.replication.replica import parse_address
+from repro.service.metrics import MetricsRegistry
+
+_BANNER = "pathindex-repro-router/1"
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Router endpoint, backend addresses, and staleness policy."""
+
+    leader: Union[str, tuple[str, int]] = "127.0.0.1:7687"
+    replicas: tuple = ()
+    host: str = "127.0.0.1"
+    port: int = 0
+    auth_token: Optional[str] = None
+    """Token our own clients must present (router-facing)."""
+
+    backend_auth_token: Optional[str] = None
+    """Token the router presents to the leader and replicas."""
+
+    max_lag_lsn: int = 512
+    """Bounded-staleness default: replicas lagging more than this many LSNs
+    behind the leader's durable watermark are evicted from read rotation
+    until they catch back up."""
+
+    eviction_failures: int = 3
+    """Consecutive failed health polls before a replica is evicted."""
+
+    health_interval_s: float = 0.2
+    connect_timeout_s: float = 5.0
+    io_timeout_s: float = 120.0
+    handshake_timeout_s: float = 5.0
+
+
+class _ReplicaState:
+    """What the health poller knows about one replica."""
+
+    def __init__(self, address: tuple[str, int]) -> None:
+        self.address = address
+        self.name = f"{address[0]}:{address[1]}"
+        self.applied_lsn = 0
+        self.lag_lsn = 0
+        self.failures = 0
+        self.evicted = True  # joins rotation on its first healthy poll
+        self.polled = False
+
+    def fields(self) -> dict:
+        return {
+            "address": self.name,
+            "applied_lsn": self.applied_lsn,
+            "lag_lsn": self.lag_lsn,
+            "evicted": self.evicted,
+            "failures": self.failures,
+        }
+
+
+class _Backend:
+    """One blocking protocol connection to a leader or replica."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        auth_token: Optional[str],
+        connect_timeout_s: float,
+        io_timeout_s: float,
+    ) -> None:
+        self.address = address
+        self.sock = socket.create_connection(address, timeout=connect_timeout_s)
+        self.sock.settimeout(io_timeout_s)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.reader = wire.FrameReader()
+        hello: dict = {
+            "versions": list(wire.SUPPORTED_VERSIONS),
+            "client": "repro.router",
+        }
+        if auth_token is not None:
+            hello["auth"] = {"token": auth_token}
+        self.send(wire.MSG_HELLO, hello)
+        self.expect_success()
+
+    def send(self, tag: int, fields: dict) -> None:
+        self.sock.sendall(wire.encode_frame(tag, fields))
+
+    def recv(self) -> tuple[int, dict]:
+        while True:
+            frame = self.reader.pop()
+            if frame is not None:
+                return frame
+            data = self.sock.recv(1 << 16)
+            if not data:
+                self.reader.close()
+                raise ProtocolError("backend closed the connection")
+            self.reader.feed(data)
+
+    def expect_success(self) -> dict:
+        tag, fields = self.recv()
+        if tag == wire.MSG_FAILURE:
+            wire.raise_failure(fields)
+        if tag != wire.MSG_SUCCESS:
+            raise ProtocolError(
+                f"expected SUCCESS, got {wire.MESSAGE_NAMES.get(tag, tag)}"
+            )
+        return fields
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class Router:
+    """Accept loop + health poller; one :class:`_Session` per connection."""
+
+    def __init__(self, config: RouterConfig) -> None:
+        self.config = config
+        self.leader = parse_address(config.leader)
+        self.replicas = [
+            _ReplicaState(parse_address(address)) for address in config.replicas
+        ]
+        self.metrics = MetricsRegistry()
+        self.leader_applied = 0
+        self._lock = threading.Lock()
+        self._rr = 0
+        self._classify_cache: dict[str, Optional[bool]] = {}
+        self._sessions: dict[int, "_Session"] = {}
+        self._next_session = 1
+        self._health_backends: dict[tuple[str, int], _Backend] = {}
+        self._listener: Optional[socket.socket] = None
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self.address: Optional[tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        if self._listener is not None:
+            raise RuntimeError("router already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.config.host, self.config.port))
+        listener.listen(128)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.address = listener.getsockname()[:2]
+        for target, name in (
+            (self._accept_loop, "repro-router-accept"),
+            (self._health_loop, "repro-router-health"),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self.address
+
+    def stop(self) -> None:
+        """Stop accepting, close every session and backend (idempotent)."""
+        self._stop.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.close()
+        for thread in self._threads:
+            thread.join(timeout=10)
+        self._threads.clear()
+        for backend in self._health_backends.values():
+            backend.close()
+        self._health_backends.clear()
+
+    def __enter__(self) -> "Router":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Accept / health threads
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            listener = self._listener
+            if listener is None:
+                return
+            try:
+                conn, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._lock:
+                session_id = self._next_session
+                self._next_session += 1
+            session = _Session(self, conn, session_id)
+            with self._lock:
+                self._sessions[session_id] = session
+            self.metrics.counter("router.sessions").inc()
+            threading.Thread(
+                target=session.run,
+                name=f"repro-router-session-{session_id}",
+                daemon=True,
+            ).start()
+
+    def _drop_session(self, session_id: int) -> None:
+        with self._lock:
+            self._sessions.pop(session_id, None)
+
+    def _health_loop(self) -> None:
+        while not self._stop.is_set():
+            self._poll_leader()
+            for state in self.replicas:
+                self._poll_replica(state)
+            self._stop.wait(self.config.health_interval_s)
+
+    def _poll_leader(self) -> None:
+        config = self.config
+        backend = self._health_backends.get(self.leader)
+        try:
+            if backend is None:
+                backend = _Backend(
+                    self.leader,
+                    config.backend_auth_token,
+                    config.connect_timeout_s,
+                    min(config.io_timeout_s, 5.0),
+                )
+                self._health_backends[self.leader] = backend
+            backend.send(wire.MSG_STATUS, {})
+            fields = backend.expect_success()
+        except (ReproError, OSError, ValueError):
+            self._health_backends.pop(self.leader, None)
+            if backend is not None:
+                backend.close()
+            return
+        self.leader_applied = max(
+            self.leader_applied, int(fields.get("applied_lsn") or 0)
+        )
+
+    def _poll_replica(self, state: _ReplicaState) -> None:
+        config = self.config
+        backend = self._health_backends.get(state.address)
+        try:
+            if backend is None:
+                backend = _Backend(
+                    state.address,
+                    config.backend_auth_token,
+                    config.connect_timeout_s,
+                    min(config.io_timeout_s, 5.0),
+                )
+                self._health_backends[state.address] = backend
+            backend.send(wire.MSG_STATUS, {})
+            fields = backend.expect_success()
+        except (ReproError, OSError, ValueError) as _exc:
+            self._health_backends.pop(state.address, None)
+            if backend is not None:
+                backend.close()
+            state.failures += 1
+            state.polled = True
+            if not state.evicted and state.failures >= config.eviction_failures:
+                state.evicted = True
+                self.metrics.counter("router.evictions").inc()
+            return
+        state.failures = 0
+        state.polled = True
+        state.applied_lsn = int(fields.get("applied_lsn") or 0)
+        # Lag as the replica sees it, or against the leader's applied LSN —
+        # whichever is larger. A stalled replica stops learning the
+        # leader's watermark, so its self-reported lag alone can flatline.
+        state.lag_lsn = max(
+            int(fields.get("replica_lag_lsn") or 0),
+            self.leader_applied - state.applied_lsn,
+        )
+        if state.lag_lsn > config.max_lag_lsn:
+            if not state.evicted:
+                state.evicted = True
+                self.metrics.counter("router.evictions").inc()
+        elif state.evicted:
+            state.evicted = False
+            self.metrics.counter("router.readmissions").inc()
+
+    # ------------------------------------------------------------------
+    # Routing decisions
+    # ------------------------------------------------------------------
+
+    def classify(self, query: str) -> Optional[bool]:
+        """True for a write, False for a read, None when the query does not
+        parse (routed to the leader so its error is authoritative)."""
+        with self._lock:
+            if query in self._classify_cache:
+                return self._classify_cache[query]
+        try:
+            is_write: Optional[bool] = analyze(parse(query)).is_write
+        except ReproError:
+            is_write = None
+        with self._lock:
+            if len(self._classify_cache) >= 4096:
+                self._classify_cache.clear()
+            self._classify_cache[query] = is_write
+        return is_write
+
+    def read_candidates(self, require_lsn: int) -> tuple[list, int]:
+        """Replicas eligible for a read needing ``require_lsn``, in
+        round-robin order, plus how many in-rotation replicas were skipped
+        for lagging behind the token (each is a re-route)."""
+        with self._lock:
+            start = self._rr
+            self._rr += 1
+        rotation = [state for state in self.replicas if not state.evicted]
+        if not rotation:
+            return [], 0
+        ordered = [
+            rotation[(start + index) % len(rotation)]
+            for index in range(len(rotation))
+        ]
+        eligible = [
+            state for state in ordered if state.applied_lsn >= require_lsn
+        ]
+        return eligible, len(ordered) - len(eligible)
+
+    def status_fields(self) -> dict:
+        with self._lock:
+            sessions = len(self._sessions)
+        return {
+            "role": "router",
+            "leader": f"{self.leader[0]}:{self.leader[1]}",
+            "replicas": [state.fields() for state in self.replicas],
+            "sessions": sessions,
+            "reroutes": self.metrics.counter("router.reroutes").value,
+        }
+
+
+class _Session:
+    """One client connection: handshake, then proxy request by request."""
+
+    def __init__(self, router: Router, sock: socket.socket, session_id: int) -> None:
+        self.router = router
+        self.config = router.config
+        self.metrics = router.metrics
+        self.session_id = session_id
+        self.sock = sock
+        self.reader = wire.FrameReader()
+        self._closed = False
+        # Per-session state
+        self.token = 0  # read-your-writes: highest commit_lsn seen
+        self._backends: dict[tuple[str, int], _Backend] = {}
+        self._open: Optional[_Backend] = None  # backend holding an open result
+        self._open_is_write = False
+        self._statements: dict[int, tuple[str, Optional[bool]]] = {}
+        self._next_statement = 1
+
+    # -- plumbing -------------------------------------------------------
+
+    def _send(self, tag: int, fields: dict) -> None:
+        self.sock.sendall(wire.encode_frame(tag, fields))
+
+    def _send_failure(self, exc: BaseException) -> None:
+        self._send(wire.MSG_FAILURE, wire.failure_fields(exc))
+
+    def _recv(self) -> Optional[tuple[int, dict]]:
+        while True:
+            frame = self.reader.pop()
+            if frame is not None:
+                return frame
+            data = self.sock.recv(1 << 16)
+            if not data:
+                return None
+            self.reader.feed(data)
+
+    def _backend(self, address: tuple[str, int]) -> _Backend:
+        backend = self._backends.get(address)
+        if backend is None:
+            backend = _Backend(
+                address,
+                self.config.backend_auth_token,
+                self.config.connect_timeout_s,
+                self.config.io_timeout_s,
+            )
+            self._backends[address] = backend
+        return backend
+
+    def _drop_backend(self, backend: _Backend) -> None:
+        self._backends.pop(backend.address, None)
+        backend.close()
+        if self._open is backend:
+            self._open = None
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    # -- main loop ------------------------------------------------------
+
+    def run(self) -> None:
+        try:
+            self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self.sock.settimeout(self.config.io_timeout_s)
+            if not self._handshake():
+                return
+            while not self._closed:
+                frame = self._recv()
+                if frame is None:
+                    return
+                tag, fields = frame
+                if tag == wire.MSG_GOODBYE:
+                    return
+                self._dispatch(tag, fields)
+        except (OSError, ProtocolError):
+            pass
+        finally:
+            for backend in self._backends.values():
+                backend.close()
+            self._backends.clear()
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.router._drop_session(self.session_id)
+
+    def _handshake(self) -> bool:
+        self.sock.settimeout(self.config.handshake_timeout_s)
+        try:
+            frame = self._recv()
+        except (socket.timeout, ProtocolError):
+            return False
+        self.sock.settimeout(self.config.io_timeout_s)
+        if frame is None or frame[0] != wire.MSG_HELLO:
+            return False
+        fields = frame[1]
+        versions = fields.get("versions")
+        if not isinstance(versions, list):
+            versions = []
+        common = [v for v in wire.SUPPORTED_VERSIONS if v in versions]
+        if not common:
+            self._send_failure(
+                ProtocolError(
+                    f"no common protocol version (router speaks "
+                    f"{list(wire.SUPPORTED_VERSIONS)}, client offered "
+                    f"{versions})"
+                )
+            )
+            return False
+        expected = self.config.auth_token
+        if expected is not None:
+            auth = fields.get("auth")
+            client_token = auth.get("token") if isinstance(auth, dict) else None
+            if not isinstance(client_token, str) or not hmac.compare_digest(
+                client_token, expected
+            ):
+                self._send_failure(
+                    AuthenticationError("invalid or missing auth token")
+                )
+                return False
+        self._send(
+            wire.MSG_SUCCESS,
+            {
+                "version": max(common),
+                "server": _BANNER,
+                "session": self.session_id,
+            },
+        )
+        return True
+
+    def _dispatch(self, tag: int, fields: dict) -> None:
+        if tag == wire.MSG_RUN:
+            self._on_run(fields)
+        elif tag in (wire.MSG_PULL, wire.MSG_DISCARD):
+            self._relay_result(tag, fields)
+        elif tag == wire.MSG_PREPARE:
+            self._on_prepare(fields)
+        elif tag == wire.MSG_RESET:
+            self._on_reset()
+        elif tag == wire.MSG_STATUS:
+            self._send(wire.MSG_SUCCESS, self.router.status_fields())
+        elif tag == wire.MSG_HELLO:
+            self._send_failure(ProtocolError("session already started"))
+        else:
+            self._send_failure(
+                ProtocolError(
+                    f"unexpected {wire.MESSAGE_NAMES.get(tag, tag)} message "
+                    "from client"
+                )
+            )
+
+    # -- request handlers ----------------------------------------------
+
+    def _on_run(self, fields: dict) -> None:
+        if self._open is not None:
+            self._send_failure(
+                ProtocolError(
+                    "previous result still open — PULL or DISCARD it first"
+                )
+            )
+            return
+        if self.router._stop.is_set():
+            self._send_failure(ServiceShutdownError("router is draining"))
+            return
+        statement = fields.get("stmt")
+        if statement is not None:
+            known = self._statements.get(statement)
+            if known is None:
+                self._send_failure(
+                    ProtocolError(f"unknown prepared statement id {statement}")
+                )
+                return
+            query, is_write = known
+        else:
+            query = fields.get("query")
+            if not isinstance(query, str) or not query:
+                self._send_failure(
+                    ProtocolError("RUN needs a 'query' string or a 'stmt' id")
+                )
+                return
+            is_write = self.router.classify(query)
+        require_lsn = fields.get("require_lsn")
+        if require_lsn is not None and (
+            isinstance(require_lsn, bool) or not isinstance(require_lsn, int)
+        ):
+            self._send_failure(ProtocolError("require_lsn must be an integer LSN"))
+            return
+        run_fields: dict = {"query": query}
+        deadline = fields.get("deadline_s")
+        if deadline is not None:
+            run_fields["deadline_s"] = deadline
+        if is_write is False:
+            self._run_read(run_fields, require_lsn, bool(is_write))
+        else:
+            # A write — or unparseable text, which the leader rejects with
+            # the same error a single server would.
+            self.metrics.counter("router.writes").inc()
+            self._run_on_leader(run_fields, is_write=True)
+
+    def _run_read(
+        self, run_fields: dict, require_lsn: Optional[int], is_write: bool
+    ) -> None:
+        # Read-your-writes by default; an explicit require_lsn (0 opts out)
+        # overrides the session token.
+        token = self.token if require_lsn is None else require_lsn
+        self.metrics.counter("router.reads").inc()
+        candidates, skipped = self.router.read_candidates(token)
+        if skipped:
+            self.metrics.counter("router.reroutes").inc(skipped)
+        for state in candidates:
+            backend_fields = dict(run_fields)
+            if token:
+                # Belt and braces: the poll that admitted this replica is
+                # eventually consistent, so the replica re-checks.
+                backend_fields["require_lsn"] = token
+            try:
+                backend = self._backend(state.address)
+                backend.send(wire.MSG_RUN, backend_fields)
+                tag, reply = backend.recv()
+            except (OSError, ProtocolError):
+                backend = self._backends.get(state.address)
+                if backend is not None:
+                    self._drop_backend(backend)
+                state.failures += 1
+                self.metrics.counter("router.reroutes").inc()
+                continue
+            if tag == wire.MSG_FAILURE:
+                exc = wire.failure_exception(reply)
+                if isinstance(exc, (StalenessError, ReadOnlyReplicaError)):
+                    # Not current enough (or we misrouted a write-shaped
+                    # query): try the next backend.
+                    self.metrics.counter("router.reroutes").inc()
+                    continue
+                self._send(tag, reply)
+                return
+            if tag != wire.MSG_SUCCESS:
+                self._drop_backend(backend)
+                self.metrics.counter("router.reroutes").inc()
+                continue
+            self._open = backend
+            self._open_is_write = False
+            self._send(tag, reply)
+            return
+        # No replica could serve it: the leader always can.
+        self._run_on_leader(run_fields, is_write=is_write)
+
+    def _run_on_leader(self, run_fields: dict, is_write: bool) -> None:
+        try:
+            backend = self._backend(self.router.leader)
+            backend.send(wire.MSG_RUN, run_fields)
+            tag, reply = backend.recv()
+        except (OSError, ProtocolError) as exc:
+            backend = self._backends.get(self.router.leader)
+            if backend is not None:
+                self._drop_backend(backend)
+            self._send_failure(
+                ServiceShutdownError(f"leader unreachable: {exc}")
+            )
+            return
+        if tag == wire.MSG_SUCCESS:
+            self._open = backend
+            self._open_is_write = is_write
+        self._send(tag, reply)
+
+    def _relay_result(self, tag: int, fields: dict) -> None:
+        backend = self._open
+        if backend is None:
+            verb = wire.MESSAGE_NAMES.get(tag, str(tag))
+            self._send_failure(ProtocolError(f"no open result to {verb}"))
+            return
+        try:
+            backend.send(tag, fields)
+            while True:
+                btag, bfields = backend.recv()
+                if btag == wire.MSG_RECORD:
+                    self._send(btag, bfields)
+                    continue
+                if btag == wire.MSG_SUCCESS:
+                    if not bfields.get("has_more"):
+                        self._open = None
+                        commit_lsn = bfields.get("commit_lsn")
+                        if (
+                            self._open_is_write
+                            and isinstance(commit_lsn, int)
+                            and not isinstance(commit_lsn, bool)
+                        ):
+                            self.token = max(self.token, commit_lsn)
+                elif btag == wire.MSG_FAILURE:
+                    self._open = None
+                self._send(btag, bfields)
+                return
+        except (OSError, ProtocolError):
+            # The backend died mid-stream; the rows it already sent cannot
+            # be unsent, so the session fails loudly rather than silently
+            # truncating a result.
+            self._drop_backend(backend)
+            self._send_failure(
+                ServiceShutdownError("backend connection lost mid-result")
+            )
+
+    def _on_prepare(self, fields: dict) -> None:
+        query = fields.get("query")
+        if not isinstance(query, str) or not query:
+            self._send_failure(ProtocolError("PREPARE needs a 'query'"))
+            return
+        # The leader validates and plans; the router keeps only the text
+        # (re-sent verbatim on RUN) so statements outlive any one backend
+        # connection and work on replicas that never saw the PREPARE.
+        try:
+            backend = self._backend(self.router.leader)
+            backend.send(wire.MSG_PREPARE, {"query": query})
+            tag, reply = backend.recv()
+        except (OSError, ProtocolError) as exc:
+            backend = self._backends.get(self.router.leader)
+            if backend is not None:
+                self._drop_backend(backend)
+            self._send_failure(
+                ServiceShutdownError(f"leader unreachable: {exc}")
+            )
+            return
+        if tag != wire.MSG_SUCCESS:
+            self._send(tag, reply)
+            return
+        statement = self._next_statement
+        self._next_statement += 1
+        self._statements[statement] = (query, bool(reply.get("is_write")))
+        out = dict(reply)
+        out["stmt"] = statement
+        self.metrics.counter("router.prepares").inc()
+        self._send(wire.MSG_SUCCESS, out)
+
+    def _on_reset(self) -> None:
+        backend = self._open
+        self._open = None
+        if backend is not None:
+            try:
+                backend.send(wire.MSG_RESET, {})
+                backend.expect_success()
+            except (ReproError, OSError):
+                self._drop_backend(backend)
+        self._send(wire.MSG_SUCCESS, {})

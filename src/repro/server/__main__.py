@@ -25,6 +25,7 @@ import sys
 from typing import Optional
 
 from repro import GraphDatabase
+from repro.replication import Replica, ReplicaConfig
 from repro.server.server import Server, ServerConfig
 from repro.service import QueryService, ServiceConfig
 
@@ -72,6 +73,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=64,
         help="rows per streamed RECORD frame",
     )
+    parser.add_argument(
+        "--replica-of",
+        metavar="HOST:PORT",
+        help="run as a read-only replica tailing this leader's WAL "
+        "(requires --data); writes are rejected with the leader's address",
+    )
+    parser.add_argument(
+        "--leader-auth-token",
+        help="auth token for the leader connection (defaults to "
+        "--auth-token)",
+    )
     return parser
 
 
@@ -91,8 +103,22 @@ async def _serve(server: Server, host_hint: str) -> None:
 
 
 def main(argv: Optional[list[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
-    if args.data:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    replica = None
+    if args.replica_of:
+        if not args.data:
+            parser.error("--replica-of requires --data (the replica's own "
+                         "durable directory)")
+        replica = Replica(
+            args.data,
+            args.replica_of,
+            config=ReplicaConfig(
+                auth_token=args.leader_auth_token or args.auth_token
+            ),
+        )
+        db = replica.db
+    elif args.data:
         db = GraphDatabase.open(args.data)
     else:
         db = GraphDatabase()
@@ -112,16 +138,25 @@ def main(argv: Optional[list[str]] = None) -> int:
             port=args.port,
             auth_token=args.auth_token,
             chunk_rows=args.chunk_rows,
+            replica_of=args.replica_of,
         ),
     )
+    if replica is not None:
+        # Snapshot catch-up replaces the database wholesale; route the
+        # swap through the service so its workers see the new one.
+        replica.attach(on_swap=service.swap_database, metrics=service.metrics)
+        server.replica = replica
+        replica.start()
     try:
         asyncio.run(_serve(server, args.host))
     finally:
         # Drain already cancelled straggling sessions' tokens; this sheds
         # the queue and cancels anything still executing, so shutdown can
         # never hang behind a slow query.
+        if replica is not None:
+            replica.stop()
         service.shutdown(cancel_pending=True)
-        db.close()
+        service.db.close()
     print("server drained cleanly", flush=True)
     return 0
 

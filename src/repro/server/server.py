@@ -35,22 +35,33 @@ from __future__ import annotations
 import asyncio
 import hmac
 import threading
+import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Optional
 
 from repro import wire
+from repro.durability.faults import SimulatedCrashError
+from repro.durability.operations import decode_record, record_seq
+from repro.durability.wal import iter_tail_frames
 from repro.errors import (
     AuthenticationError,
     ProtocolError,
     QueryCancelledError,
+    ReadOnlyReplicaError,
+    ReplicationError,
     ReproError,
     ServiceShutdownError,
+    StalenessError,
 )
 from repro.service import QueryOutcome, QueryService
 
 _EOF = object()
+
+SNAPSHOT_CHUNK_BYTES = 4 << 20
+"""Checkpoint files ship in chunks of at most this many bytes per
+SNAPSHOT_FILE frame (well under the wire's MAX_FRAME_BYTES)."""
 
 
 @dataclass(frozen=True)
@@ -92,6 +103,38 @@ class ServerConfig:
     parks one; they spend their life blocked on an event, so this merely
     caps concurrently *awaited* queries, not executed ones)."""
 
+    replica_of: Optional[str] = None
+    """When set (``host:port`` of the leader), this server is a read-only
+    replica: write statements are rejected with a structured
+    :class:`~repro.errors.ReadOnlyReplicaError` naming the leader, and
+    SUBSCRIBE is refused (no chaining)."""
+
+    ship_poll_s: float = 0.02
+    """Leader-side shipping: how often an idle subscriber session polls the
+    log for newly durable records."""
+
+    ship_batch_records: int = 256
+    """At most this many records per WAL_SEGMENT frame."""
+
+    ship_batch_bytes: int = 1 << 20
+    """Flush a WAL_SEGMENT frame once its records reach this many bytes."""
+
+    ship_unacked_high_bytes: int = 4 << 20
+    """Backpressure high-water mark: a subscriber with more than this many
+    shipped-but-unacknowledged bytes in flight is not sent more segments
+    until WAL_ACKs drain the window (a stalled replica cannot make the
+    leader buffer unboundedly)."""
+
+    heartbeat_s: float = 1.0
+    """Ship an empty WAL_SEGMENT (heartbeat, carrying ``durable_lsn``) when
+    nothing was sent for this long; replicas answer with a WAL_ACK carrying
+    their applied LSN, which feeds the leader's lag accounting."""
+
+    require_lsn_wait_s: float = 5.0
+    """How long a RUN carrying ``require_lsn`` may wait for this server to
+    apply/publish that LSN before failing with
+    :class:`~repro.errors.StalenessError` (read-your-writes bound)."""
+
     def __post_init__(self) -> None:
         if self.chunk_rows < 1:
             raise ValueError("chunk_rows must be positive")
@@ -116,6 +159,13 @@ class Server:
         self._draining = False
         self._next_session = 0
         self.address: Optional[tuple[str, int]] = None
+        # Leader-side subscriber registry: session id -> shipping state
+        # (shipped/applied LSNs, bytes). Mutated only from the event loop;
+        # read by STATUS and the service metrics.
+        self.subscribers: dict[int, dict] = {}
+        # Set by the --replica-of entrypoint (and replica tests) so STATUS
+        # can report the tailer's connection state and lag.
+        self.replica = None
 
     # ------------------------------------------------------------------
 
@@ -145,6 +195,40 @@ class Server:
     @property
     def draining(self) -> bool:
         return self._draining
+
+    def status_fields(self) -> dict:
+        """The STATUS response: role, LSN watermarks, subscriber lag."""
+        db = self.service.db
+        engine = db.durability
+        fields: dict = {
+            "role": "replica" if self.config.replica_of else "leader",
+            "published_lsn": db.store.mvcc.published,
+            "sessions": self.sessions_open,
+            "draining": self._draining,
+        }
+        if self.config.replica_of:
+            fields["leader"] = self.config.replica_of
+        if engine is not None:
+            position = engine.replication_position()
+            fields["applied_lsn"] = engine.applied_lsn()
+            fields["durable_lsn"] = position["durable_seq"]
+            fields["segment_floor"] = position["segment_floor"]
+        else:
+            fields["applied_lsn"] = db.store.mvcc.published
+        replica = self.replica
+        if replica is not None:
+            fields.update(replica.status_fields())
+        fields["subscribers"] = [
+            {
+                "session": session_id,
+                "shipped_lsn": sub["shipped_lsn"],
+                "applied_lsn": sub["applied_lsn"],
+                "bytes_shipped": sub["bytes_shipped"],
+                "unacked_bytes": sum(size for _seq, size in sub["in_flight"]),
+            }
+            for session_id, sub in sorted(self.subscribers.items())
+        ]
+        return fields
 
     async def drain(self) -> None:
         """Graceful shutdown: stop accepting, let busy sessions finish
@@ -450,6 +534,14 @@ class _Session:
             await self._on_prepare(fields)
         elif tag == wire.MSG_RESET:
             await self._on_reset()
+        elif tag == wire.MSG_STATUS:
+            await self._on_status()
+        elif tag == wire.MSG_SUBSCRIBE:
+            await self._on_subscribe(fields)
+        elif tag == wire.MSG_WAL_ACK:
+            await self._send_failure(
+                ProtocolError("WAL_ACK outside an active subscription")
+            )
         elif tag == wire.MSG_HELLO:
             await self._send_failure(ProtocolError("session already started"))
         else:
@@ -493,7 +585,57 @@ class _Session:
         if deadline is not None and not isinstance(deadline, (int, float)):
             await self._send_failure(ProtocolError("deadline_s must be a number"))
             return
+        require_lsn = fields.get("require_lsn")
+        if require_lsn is not None and (
+            isinstance(require_lsn, bool) or not isinstance(require_lsn, int)
+        ):
+            await self._send_failure(
+                ProtocolError("require_lsn must be an integer LSN")
+            )
+            return
         loop = asyncio.get_running_loop()
+        leader = self.config.replica_of
+        if leader is not None:
+            # Classify before submitting: a replica serves reads only. The
+            # prepare goes through the plan cache, so the classification
+            # costs a lookup on the steady state.
+            try:
+                cached = await loop.run_in_executor(
+                    self.server._executor,
+                    lambda: self.server.service.db.prepare(query),
+                )
+            except ReproError as exc:
+                await self._send_failure(exc)
+                return
+            if cached.analyzed.is_write:
+                self.metrics.counter("server.replica_write_rejections").inc()
+                await self._send_failure(
+                    ReadOnlyReplicaError(
+                        "this server is a read-only replica — "
+                        f"send writes to the leader at {leader}",
+                        leader=leader,
+                    )
+                )
+                return
+        if require_lsn:
+            # Read-your-writes: hold the read until this server has
+            # published the token's LSN (immediate on the leader; a
+            # bounded wait on a catching-up replica).
+            if not await loop.run_in_executor(
+                self.server._executor, self._await_published, require_lsn
+            ):
+                applied = self.server.service.db.store.mvcc.published
+                self.metrics.counter("server.staleness_rejections").inc()
+                await self._send_failure(
+                    StalenessError(
+                        f"required LSN {require_lsn} not applied within "
+                        f"{self.config.require_lsn_wait_s:.1f}s "
+                        f"(applied {applied})",
+                        require_lsn=require_lsn,
+                        applied_lsn=applied,
+                    )
+                )
+                return
         try:
             ticket = self.server.service.submit(query, deadline_s=deadline)
         except ReproError as exc:
@@ -603,6 +745,302 @@ class _Session:
         self._result = None
         self.metrics.counter("server.resets").inc()
         await self._send(wire.MSG_SUCCESS, {})
+
+    async def _on_status(self) -> None:
+        self.metrics.counter("server.status_requests").inc()
+        await self._send(wire.MSG_SUCCESS, self.server.status_fields())
+
+    def _await_published(self, require_lsn: int) -> bool:
+        """Block (in a wait thread) until this server's published LSN
+        reaches ``require_lsn``; False on timeout/drain."""
+        deadline = time.monotonic() + self.config.require_lsn_wait_s
+        while True:
+            # Read through the service each poll: a replica resync swaps
+            # the database object underneath us.
+            if self.server.service.db.store.mvcc.published >= require_lsn:
+                return True
+            if time.monotonic() >= deadline or self.server.draining:
+                return False
+            time.sleep(0.002)
+
+    # ------------------------------------------------------------------
+    # Replication: leader-side shipping
+    # ------------------------------------------------------------------
+
+    async def _on_subscribe(self, fields: dict) -> None:
+        server = self.server
+        engine = server.service.db.durability
+        if engine is None:
+            await self._send_failure(
+                ReplicationError(
+                    "server is not durable — there is no log to ship"
+                )
+            )
+            return
+        if self.config.replica_of is not None:
+            await self._send_failure(
+                ReplicationError(
+                    "cannot subscribe to a replica — subscribe to the "
+                    f"leader at {self.config.replica_of}"
+                )
+            )
+            return
+        from_lsn = fields.get("from_lsn", 0)
+        if isinstance(from_lsn, bool) or not isinstance(from_lsn, int) or from_lsn < 0:
+            await self._send_failure(
+                ProtocolError("SUBSCRIBE needs a non-negative integer 'from_lsn'")
+            )
+            return
+        sub = {
+            "shipped_lsn": from_lsn,
+            "applied_lsn": from_lsn,
+            "bytes_shipped": 0,
+            "in_flight": [],  # (seq, frame bytes) shipped but unacked
+        }
+        server.subscribers[self.session_id] = sub
+        self.metrics.counter("server.subscriptions").inc()
+        try:
+            await self._ship_loop(engine, from_lsn, sub)
+        except SimulatedCrashError:
+            # The fault injector killed the leader mid-ship: the session
+            # dies like a crashed process would (no FAILURE frame, the
+            # replica just sees the connection drop).
+            self._writer.close()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            server.subscribers.pop(self.session_id, None)
+
+    async def _ship_loop(self, engine, from_lsn: int, sub: dict) -> None:
+        loop = asyncio.get_running_loop()
+        executor = self.server._executor
+        position = engine.replication_position()
+        if from_lsn < position["segment_floor"]:
+            # The requested start pre-dates the live segment: those records
+            # were folded into the checkpoint, so ship the checkpoint
+            # itself and resume the log from its floor.
+            await self._send(wire.MSG_SUCCESS, {"mode": "snapshot"})
+            resume_lsn, files = await loop.run_in_executor(
+                executor, engine.read_checkpoint
+            )
+            for name in sorted(files):
+                await self._send_snapshot_file(name, files[name], sub)
+            await self._send(
+                wire.MSG_SUCCESS,
+                {"snapshot_complete": True, "base_lsn": resume_lsn},
+            )
+            self.metrics.counter("server.snapshots_shipped").inc()
+            from_lsn = resume_lsn
+            sub["shipped_lsn"] = resume_lsn
+            sub["applied_lsn"] = resume_lsn
+        else:
+            await self._send(
+                wire.MSG_SUCCESS,
+                {
+                    "mode": "wal",
+                    "from_lsn": from_lsn,
+                    "durable_lsn": position["durable_seq"],
+                },
+            )
+
+        checkpoint_id = None
+        offset = 0
+        last_sent = from_lsn
+        last_activity = loop.time()
+        while True:
+            if self.server.draining or self._disconnected:
+                return
+            # A crashed (fault-injected) leader is a dead process: it must
+            # not keep heartbeating subscribers that reconnect to it.
+            engine.injector.check()
+            if not self._drain_acks(sub):
+                return
+            position = engine.replication_position()
+            if position["checkpoint_id"] != checkpoint_id:
+                if last_sent < position["segment_floor"]:
+                    # A checkpoint folded records this subscriber never
+                    # received. Fail the subscription; the replica
+                    # resubscribes and lands on the snapshot path.
+                    await self._send_failure(
+                        ReplicationError(
+                            f"records after LSN {last_sent} were folded "
+                            "into a checkpoint — resubscribe for snapshot "
+                            "catch-up"
+                        )
+                    )
+                    return
+                checkpoint_id = position["checkpoint_id"]
+                offset = 0
+            if sum(size for _seq, size in sub["in_flight"]) >= (
+                self.config.ship_unacked_high_bytes
+            ):
+                # Backpressure: wait for WAL_ACKs before shipping more.
+                self.metrics.counter("replication.backpressure_stalls").inc()
+                await asyncio.sleep(self.config.ship_poll_s)
+                continue
+            frames, offset = await loop.run_in_executor(
+                executor, iter_tail_frames, position["wal_path"], offset
+            )
+            batch: list[bytes] = []
+            batch_first = batch_last = 0
+            batch_bytes = 0
+            sent_any = False
+            for payload, end in frames:
+                _record_type, body = decode_record(payload)
+                seq = record_seq(body)
+                if seq > position["durable_seq"]:
+                    # Not fsynced yet: never ship a record the leader
+                    # could still lose. Re-read it next poll.
+                    offset = end - len(payload) - 8
+                    break
+                if seq <= last_sent:
+                    continue
+                if not batch:
+                    batch_first = seq
+                batch.append(payload)
+                batch_last = seq
+                batch_bytes += len(payload)
+                if (
+                    len(batch) >= self.config.ship_batch_records
+                    or batch_bytes >= self.config.ship_batch_bytes
+                ):
+                    await self._send_segment(
+                        engine, sub, batch, batch_first, batch_last, position
+                    )
+                    last_sent = batch_last
+                    sent_any = True
+                    batch, batch_bytes = [], 0
+            if batch:
+                await self._send_segment(
+                    engine, sub, batch, batch_first, batch_last, position
+                )
+                last_sent = batch_last
+                sent_any = True
+            if sent_any:
+                last_activity = loop.time()
+                continue
+            if loop.time() - last_activity >= self.config.heartbeat_s:
+                # Idle heartbeat: carries the durable watermark so the
+                # replica can report its lag even with no traffic.
+                await self._send(
+                    wire.MSG_WAL_SEGMENT,
+                    {
+                        "first": 0,
+                        "last": 0,
+                        "records": [],
+                        "durable_lsn": position["durable_seq"],
+                    },
+                )
+                last_activity = loop.time()
+            await asyncio.sleep(self.config.ship_poll_s)
+
+    async def _send_segment(
+        self,
+        engine,
+        sub: dict,
+        records: list[bytes],
+        first: int,
+        last: int,
+        position: dict,
+    ) -> None:
+        injector = engine.injector
+        injector.reach("ship.before_segment")
+        frame = wire.encode_frame(
+            wire.MSG_WAL_SEGMENT,
+            {
+                "first": first,
+                "last": last,
+                "records": records,
+                "durable_lsn": position["durable_seq"],
+            },
+        )
+        if injector.will_fire("ship.torn_segment"):
+            # Write half the frame, then die: the replica's FrameReader
+            # must detect the torn stream and resubscribe from its applied
+            # LSN with no duplicate application.
+            self._writer.write(frame[: max(1, len(frame) // 2)])
+            try:
+                await self._writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            injector.reach("ship.torn_segment")
+        self._writer.write(frame)
+        self.metrics.counter("server.frames_out").inc()
+        self.metrics.counter("server.bytes_out").inc(len(frame))
+        self.metrics.counter("replication.segments_shipped").inc()
+        self.metrics.counter("replication.records_shipped").inc(len(records))
+        self.metrics.counter("replication.bytes_shipped").inc(len(frame))
+        sub["shipped_lsn"] = last
+        sub["bytes_shipped"] += len(frame)
+        sub["in_flight"].append((last, len(frame)))
+        await self._writer.drain()
+
+    async def _send_snapshot_file(self, name: str, data: bytes, sub: dict) -> None:
+        offset = 0
+        while True:
+            chunk = data[offset : offset + SNAPSHOT_CHUNK_BYTES]
+            offset += len(chunk)
+            eof = offset >= len(data)
+            frame = wire.encode_frame(
+                wire.MSG_SNAPSHOT_FILE,
+                {"name": name, "data": chunk, "eof": eof},
+            )
+            self._writer.write(frame)
+            self.metrics.counter("server.frames_out").inc()
+            self.metrics.counter("server.bytes_out").inc(len(frame))
+            self.metrics.counter("replication.bytes_shipped").inc(len(frame))
+            sub["bytes_shipped"] += len(frame)
+            await self._writer.drain()
+            if eof:
+                return
+
+    def _drain_acks(self, sub: dict) -> bool:
+        """Consume pipelined WAL_ACK frames during a subscription; False
+        ends it. Terminal items (EOF, GOODBYE, protocol errors) are pushed
+        back so the outer dispatch loop sees them and closes the session
+        normally."""
+        while True:
+            try:
+                item = self._requests.get_nowait()
+            except asyncio.QueueEmpty:
+                return True
+            if item is _EOF or isinstance(item, ProtocolError):
+                self._requeue(item)
+                return False
+            tag, fields = item
+            if tag == wire.MSG_GOODBYE:
+                self._requeue(item)
+                return False
+            if tag != wire.MSG_WAL_ACK:
+                self._requeue(
+                    ProtocolError(
+                        f"unexpected {wire.MESSAGE_NAMES[tag]} during an "
+                        "active subscription"
+                    )
+                )
+                return False
+            applied = fields.get("applied_lsn")
+            if isinstance(applied, bool) or not isinstance(applied, int):
+                self._requeue(ProtocolError("WAL_ACK applied_lsn must be an int"))
+                return False
+            sub["applied_lsn"] = max(sub["applied_lsn"], applied)
+            sub["in_flight"] = [
+                (seq, size) for seq, size in sub["in_flight"] if seq > applied
+            ]
+            engine = self.server.service.db.durability
+            if engine is not None:
+                lag = max(0, engine.replication_position()["durable_seq"] - applied)
+                self.metrics.histogram(
+                    "replication.lag_lsn",
+                    buckets=(0, 1, 4, 16, 64, 256, 1024, 4096, 16384),
+                ).observe(lag)
+
+    def _requeue(self, item) -> None:
+        try:
+            self._requests.put_nowait(item)
+        except asyncio.QueueFull:
+            # Pathological pipelining; drop the connection instead.
+            self._writer.close()
 
 
 def _server_banner() -> str:

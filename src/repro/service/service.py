@@ -422,6 +422,25 @@ class QueryService:
             # orphan (e.g. a simulated crash mid-spill) — reclaim it.
             self.db.spill_manager.sweep()
 
+    def swap_database(self, new_db: GraphDatabase) -> GraphDatabase:
+        """Atomically replace the served database object.
+
+        The replica uses this when catch-up installs a shipped checkpoint:
+        queries already executing finish against the old object (their
+        snapshots stay pinned to its store); every later submission plans
+        and runs against the new one. Metric/plan-cache subscriptions move
+        over; the old database is returned for the caller to close.
+        """
+        with self._lock:
+            old = self.db
+            self.db = new_db
+        old.plan_cache.unsubscribe(self._plan_cache_event)
+        old.memory_pool.unbind_metrics(self.metrics)
+        new_db.plan_cache.subscribe(self._plan_cache_event)
+        new_db.memory_pool.bind_metrics(self.metrics)
+        self.metrics.counter("service.database_swaps").inc()
+        return old
+
     def __enter__(self) -> "QueryService":
         return self
 

@@ -28,8 +28,21 @@ Message flow (client → server requests, server → client responses):
                {"has_more": bool, …summary}`` — credit-based backpressure
 ``DISCARD``    drop the open result → ``SUCCESS {summary}``
 ``RESET``      clear session state (open result) → ``SUCCESS {}``
+``STATUS``     server role / LSN watermarks / subscriber lag → ``SUCCESS``
 ``GOODBYE``    close the session (no response)
 =============  ==========================================================
+
+Replication reuses the same framing. A replica sends ``SUBSCRIBE
+{"from_lsn"}`` after HELLO; the leader answers ``SUCCESS {"mode": "wal"}``
+and turns the session into a server-push stream of ``WAL_SEGMENT
+{"first", "last", "records": [payload bytes, ...], "durable_lsn"}``
+frames (empty ``records`` = heartbeat), against which the replica sends
+``WAL_ACK {"applied_lsn"}`` frames. When ``from_lsn`` pre-dates the
+current WAL segment (folded into a checkpoint), the leader answers
+``SUCCESS {"mode": "snapshot", ...}`` and first ships the checkpoint as
+chunked ``SNAPSHOT_FILE {"name", "data", "eof"}`` frames, then a
+``SUCCESS {"snapshot_complete": True, "base_lsn"}`` marker, then the
+live WAL_SEGMENT stream.
 
 Requests may be pipelined: a client can write many frames back-to-back; the
 server processes them strictly in order and answers in order. ``FAILURE``
@@ -53,6 +66,7 @@ from repro.errors import (
     ReproError,
     ServiceError,
     ServiceOverloadedError,
+    StalenessError,
     TransactionError,
 )
 
@@ -73,30 +87,52 @@ FRAME_HEADER = struct.Struct("<II")
 MSG_HELLO = 0x01
 MSG_GOODBYE = 0x02
 MSG_RESET = 0x03
+MSG_STATUS = 0x05
 MSG_PREPARE = 0x10
 MSG_RUN = 0x11
 MSG_PULL = 0x12
 MSG_DISCARD = 0x13
+# Replication (replica → leader requests) ----------------------------------
+MSG_SUBSCRIBE = 0x20
+MSG_WAL_ACK = 0x21
 # Server → client ----------------------------------------------------------
 MSG_SUCCESS = 0x70
 MSG_RECORD = 0x71
+MSG_WAL_SEGMENT = 0x72
+MSG_SNAPSHOT_FILE = 0x73
 MSG_FAILURE = 0x7F
 
 MESSAGE_NAMES = {
     MSG_HELLO: "HELLO",
     MSG_GOODBYE: "GOODBYE",
     MSG_RESET: "RESET",
+    MSG_STATUS: "STATUS",
     MSG_PREPARE: "PREPARE",
     MSG_RUN: "RUN",
     MSG_PULL: "PULL",
     MSG_DISCARD: "DISCARD",
+    MSG_SUBSCRIBE: "SUBSCRIBE",
+    MSG_WAL_ACK: "WAL_ACK",
     MSG_SUCCESS: "SUCCESS",
     MSG_RECORD: "RECORD",
+    MSG_WAL_SEGMENT: "WAL_SEGMENT",
+    MSG_SNAPSHOT_FILE: "SNAPSHOT_FILE",
     MSG_FAILURE: "FAILURE",
 }
 
 REQUEST_TAGS = frozenset(
-    (MSG_HELLO, MSG_GOODBYE, MSG_RESET, MSG_PREPARE, MSG_RUN, MSG_PULL, MSG_DISCARD)
+    (
+        MSG_HELLO,
+        MSG_GOODBYE,
+        MSG_RESET,
+        MSG_STATUS,
+        MSG_PREPARE,
+        MSG_RUN,
+        MSG_PULL,
+        MSG_DISCARD,
+        MSG_SUBSCRIBE,
+        MSG_WAL_ACK,
+    )
 )
 
 
@@ -215,7 +251,12 @@ class FrameReader:
 # Structured errors
 # ---------------------------------------------------------------------------
 
-_RETRYABLE = (ServiceOverloadedError, MemoryLimitExceeded, TransactionError)
+_RETRYABLE = (
+    ServiceOverloadedError,
+    MemoryLimitExceeded,
+    TransactionError,
+    StalenessError,
+)
 
 
 def failure_fields(exc: BaseException) -> dict:

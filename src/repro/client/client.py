@@ -17,11 +17,12 @@ attribute attached.
 from __future__ import annotations
 
 import socket
+import time
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro import wire
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ReproError
 
 
 @dataclass(frozen=True)
@@ -171,6 +172,8 @@ class Client:
         stmt: Optional[PreparedStatement | int] = None,
         deadline_s: Optional[float] = None,
         require_lsn: Optional[int] = None,
+        retries: int = 0,
+        retry_backoff_s: float = 0.05,
     ) -> RemoteOutcome:
         """Run a query (text or prepared statement) and fetch every row.
 
@@ -181,9 +184,31 @@ class Client:
         write's ``commit_lsn`` and the server (typically a replica, or the
         router on your behalf) will wait until it has applied at least that
         LSN before executing — or fail retryably with ``StalenessError``.
+
+        ``retries`` re-runs the request after a *structured, retryable*
+        failure (``exc.retryable`` — staleness, overload, a failover in
+        progress surfacing as ``LeaderUnavailableError``) with doubling
+        backoff starting at ``retry_backoff_s``. Only clean FAILURE frames
+        qualify: the session survived them, so re-running is a fresh
+        request. A lost connection is never retried here — for a write it
+        is ambiguous whether it applied, so reconnect and verify instead.
         """
         self._check_no_stream()
         run_fields = self._run_fields(query, stmt, deadline_s, require_lsn)
+        delay = retry_backoff_s
+        attempts = max(0, retries)
+        for attempt in range(attempts + 1):
+            if attempt:
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
+            try:
+                return self._execute_once(run_fields)
+            except ReproError as exc:
+                if attempt >= attempts or not getattr(exc, "retryable", False):
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _execute_once(self, run_fields: dict) -> RemoteOutcome:
         self._send_many(
             (wire.MSG_RUN, run_fields), (wire.MSG_PULL, {"n": -1})
         )
@@ -252,11 +277,35 @@ class Client:
         self._stream = StreamingResult(self, columns, credit)
         return self._stream
 
-    def status(self) -> dict:
-        """The server's STATUS fields: role, LSN watermarks, replication
-        lag, subscriber/session counts."""
+    def status(self, announce_epoch: Optional[int] = None) -> dict:
+        """The server's STATUS fields: role, epoch, LSN watermarks,
+        replication lag, subscriber/session counts.
+
+        ``announce_epoch`` gossips a leader epoch you have observed
+        elsewhere — a leader hearing a higher one fences itself (stops
+        acknowledging writes) before replying."""
         self._check_no_stream()
-        self._send(wire.MSG_STATUS, {})
+        fields: dict = {}
+        if announce_epoch is not None:
+            fields["epoch"] = announce_epoch
+        self._send(wire.MSG_STATUS, fields)
+        return self._expect_success()
+
+    def promote(self) -> dict:
+        """Promote the connected replica to leader (PROMOTE admin frame).
+
+        The server drains its apply loop, verifies its WAL tail, bumps
+        the persisted epoch, and flips writable. Returns the new
+        ``role``/``epoch``/``promote_lsn``/``applied_lsn`` fields."""
+        self._check_no_stream()
+        self._send(wire.MSG_PROMOTE, {})
+        return self._expect_success()
+
+    def repoint(self, leader: str) -> dict:
+        """Re-point the connected replica's tailer at ``leader``
+        (``host:port``); it resubscribes from its applied LSN."""
+        self._check_no_stream()
+        self._send(wire.MSG_REPOINT, {"leader": leader})
         return self._expect_success()
 
     @staticmethod

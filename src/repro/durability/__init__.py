@@ -24,6 +24,7 @@ from repro.durability.engine import DurabilityConfig, DurabilityEngine
 from repro.durability.faults import (
     CHECKPOINT_KILL_POINTS,
     KILL_POINTS,
+    PROMOTION_KILL_POINTS,
     REPLICATION_KILL_POINTS,
     SPILL_KILL_POINTS,
     WAL_KILL_POINTS,
@@ -34,6 +35,7 @@ from repro.durability.wal import WriteAheadLog, iter_tail_frames, scan_records
 
 __all__ = [
     "CHECKPOINT_KILL_POINTS",
+    "PROMOTION_KILL_POINTS",
     "REPLICATION_KILL_POINTS",
     "SPILL_KILL_POINTS",
     "DurabilityConfig",

@@ -5,6 +5,11 @@ Directory layout::
     <dir>/CURRENT                   text pointer: id of the live checkpoint
     <dir>/checkpoint-NNNNNN/        snapshot directory (repro.db.snapshot format)
     <dir>/wal-NNNNNN.log            the log segment paired with that checkpoint
+    <dir>/EPOCH                     text: "<epoch> <promote_lsn>" — the leader
+                                    epoch this directory last served under and
+                                    the LSN at which that epoch began (absent
+                                    means epoch 1, LSN 0). The fencing token
+                                    for controlled failover.
 
 Commit path — the engine is a transaction applier (registered *after* the
 path-index maintainer, so index deltas are already known): each committed
@@ -107,6 +112,8 @@ class DurabilityEngine:
         replayed_records: int,
         replayed_bytes: int,
         segment_floor: int = 0,
+        epoch: int = 1,
+        promote_lsn: int = 0,
     ) -> None:
         self.directory = Path(directory)
         self.db = db
@@ -122,6 +129,12 @@ class DurabilityEngine:
         # replication subscriber whose start LSN is below it must catch up
         # from the checkpoint instead (those records are gone).
         self._segment_floor = segment_floor
+        # Leader-epoch fence: the epoch this directory last served under
+        # and the LSN at which that epoch began (its divergence floor).
+        # Bumped only by promote(); adopted forward from a leader's stream
+        # by adopt_epoch(). Never moves backwards.
+        self._epoch = epoch
+        self._promote_lsn = promote_lsn
         # True while apply_replicated replays a shipped record: the replay
         # path runs through the live mutation/DDL API, which must not log
         # fresh records for changes that came *from* the log.
@@ -191,6 +204,11 @@ class DurabilityEngine:
             db_kwargs["miss_latency_s"] = miss_latency_s
         if maintenance_strategy is not None:
             db_kwargs["maintenance_strategy"] = maintenance_strategy
+
+        epoch, promote_lsn = _read_epoch_file(directory)
+        # A revived old leader re-reads its (stale) epoch here; the kill
+        # point models it dying mid-revival, before serving anything.
+        injector.reach("promote.old_leader_revival")
 
         base_lsn = 0
         segment_floor = 0
@@ -263,6 +281,8 @@ class DurabilityEngine:
             replayed_records=len(payloads),
             replayed_bytes=max(0, valid_length - len(WAL_HEADER)),
             segment_floor=segment_floor,
+            epoch=epoch,
+            promote_lsn=promote_lsn,
         )
         db.durability = engine
         db.tx_manager.register_applier(_WalApplier(engine))
@@ -561,11 +581,84 @@ class DurabilityEngine:
                 "wal_path": self._wal.path,
                 "segment_floor": self._segment_floor,
                 "durable_seq": self._durable_seq,
+                "epoch": self._epoch,
+                "promote_lsn": self._promote_lsn,
             }
 
     def applied_lsn(self) -> int:
         """The highest LSN this database has applied/published."""
         return max(self._seq, self.db.store.mvcc.published)
+
+    # ------------------------------------------------------------------
+    # Leader epochs (controlled failover)
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The leader epoch this directory last served under (>= 1)."""
+        return self._epoch
+
+    @property
+    def promote_lsn(self) -> int:
+        """The LSN at which the current epoch began — the divergence
+        floor: records at or below it are shared history with every lower
+        epoch; records above it exist only on this epoch's timeline."""
+        return self._promote_lsn
+
+    def adopt_epoch(self, epoch: int, promote_lsn: int = 0) -> None:
+        """Persist a higher epoch learned from a leader's stream (replica
+        side). Lower or equal epochs are no-ops — epochs never regress."""
+        self.injector.check()
+        with self._lock:
+            if epoch <= self._epoch:
+                return
+            _write_epoch_file(self.directory, epoch, promote_lsn)
+            self._epoch = epoch
+            self._promote_lsn = promote_lsn
+
+    def promote(self) -> int:
+        """Claim leadership: verify the WAL tail, fence the old epoch,
+        and return the new one.
+
+        The promotion recipe for a (stopped-tailing) replica: make every
+        appended record durable, re-scan the on-disk tail and check that
+        recovery would land exactly on the applied state, then atomically
+        persist ``epoch + 1`` with this node's applied LSN as the new
+        divergence floor. A crash before the EPOCH write means the
+        promotion never happened (the node re-opens as a replica of the
+        old epoch); a crash after it means the node re-opens already
+        promoted. Both kill-points on that path are armed by the failover
+        test matrix.
+        """
+        injector = self.injector
+        injector.check()
+        with self.db.store.mvcc.exclusive_writer(), self._lock:
+            # Nothing the new leader could still lose may remain
+            # unsynced: its state becomes the authoritative timeline.
+            if self._appended_seq > self._durable_seq:
+                self.sync(self._appended_seq)
+            # Tail replay verification: scan the live segment the way
+            # recovery would (the WAL file is unbuffered, so the scan
+            # sees every appended byte) and require it to end exactly at
+            # the applied sequence — a torn or lagging tail must surface
+            # here, not after the epoch is claimed.
+            injector.reach("promote.mid_tail_replay")
+            payloads, _valid_length = scan_records(self._wal.path)
+            tail_seq = self._segment_floor
+            for payload in payloads:
+                tail_seq = record_seq(decode_record(payload)[1])
+            if payloads and tail_seq != self._appended_seq:
+                raise DurabilityError(
+                    f"promotion tail mismatch: log ends at sequence "
+                    f"{tail_seq}, applied state at {self._appended_seq}"
+                )
+            injector.reach("promote.before_epoch_bump")
+            new_epoch = self._epoch + 1
+            divergence = self.applied_lsn()
+            _write_epoch_file(self.directory, new_epoch, divergence)
+            self._epoch = new_epoch
+            self._promote_lsn = divergence
+        return new_epoch
 
     def read_checkpoint(self) -> tuple[int, dict[str, bytes]]:
         """The live checkpoint's files, for shipping to a lagging replica.
@@ -686,6 +779,8 @@ class DurabilityEngine:
             "last_group_size": self.last_group_size,
             "checkpoints": self.checkpoints_completed,
             "segment_floor": self._segment_floor,
+            "epoch": self._epoch,
+            "promote_lsn": self._promote_lsn,
             "recovered_records": self.recovered_records,
             "records_since_checkpoint": self._records_since_checkpoint,
             "bytes_since_checkpoint": self._bytes_since_checkpoint,
@@ -706,6 +801,33 @@ def _wal_name(checkpoint_id: int) -> str:
     return f"wal-{checkpoint_id:06d}.log"
 
 
+def _read_epoch_file(directory: Path) -> tuple[int, int]:
+    """``(epoch, promote_lsn)`` from ``EPOCH``; ``(1, 0)`` when absent."""
+    try:
+        parts = (directory / "EPOCH").read_text().split()
+    except FileNotFoundError:
+        return 1, 0
+    try:
+        epoch = int(parts[0])
+        promote_lsn = int(parts[1]) if len(parts) > 1 else 0
+    except (IndexError, ValueError) as exc:
+        raise DurabilityError(f"malformed EPOCH file in {directory}") from exc
+    if epoch < 1 or promote_lsn < 0:
+        raise DurabilityError(f"malformed EPOCH file in {directory}")
+    return epoch, promote_lsn
+
+
+def _write_epoch_file(directory: Path, epoch: int, promote_lsn: int) -> None:
+    """Atomically persist the epoch fence (write temp, fsync, rename,
+    fsync dir — same dance as ``CURRENT``, so a crash leaves either the
+    old fence or the new one, never a torn file)."""
+    tmp = directory / "EPOCH.tmp"
+    tmp.write_text(f"{epoch} {promote_lsn}\n")
+    _fsync_file(tmp)
+    os.replace(tmp, directory / "EPOCH")
+    _fsync_dir(directory)
+
+
 def _switch_current(directory: Path, checkpoint_id: int) -> None:
     """Atomically repoint ``CURRENT`` (write temp, fsync, rename, fsync dir)."""
     tmp = directory / "CURRENT.tmp"
@@ -720,7 +842,7 @@ def _clean_orphans(directory: Path, keep_id: int) -> None:
     not referenced by ``CURRENT`` is garbage by construction. Spill files
     are always transient (a query that crashed mid-spill never commits
     anything that references them), so every ``*.spill`` goes too."""
-    keep = {_checkpoint_name(keep_id), _wal_name(keep_id), "CURRENT"}
+    keep = {_checkpoint_name(keep_id), _wal_name(keep_id), "CURRENT", "EPOCH"}
     for entry in directory.iterdir():
         if entry.name in keep:
             continue
@@ -729,6 +851,7 @@ def _clean_orphans(directory: Path, keep_id: int) -> None:
         elif (
             entry.name.startswith("wal-")
             or entry.name == "CURRENT.tmp"
+            or entry.name == "EPOCH.tmp"
             or entry.name.endswith(".spill")
         ):
             try:

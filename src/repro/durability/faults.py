@@ -59,11 +59,26 @@ frame and then die, so the replica sees a torn stream mid-frame;
 ``replica.apply.mid_batch`` kills the replica between two records of one
 shipped batch (crash mid-apply)."""
 
+PROMOTION_KILL_POINTS = (
+    "promote.before_epoch_bump",
+    "promote.mid_tail_replay",
+    "promote.before_resubscribe",
+    "promote.old_leader_revival",
+)
+"""Kill-points across controlled failover. ``promote.mid_tail_replay``
+kills the candidate while it verifies its WAL tail against the applied
+state; ``promote.before_epoch_bump`` kills it after the tail is durable
+but before the new epoch reaches disk (the promotion never happened);
+``promote.before_resubscribe`` kills a surviving replica just before it
+subscribes to the new leader; ``promote.old_leader_revival`` kills a
+revived old leader while it re-opens its directory."""
+
 KILL_POINTS = (
     WAL_KILL_POINTS
     + CHECKPOINT_KILL_POINTS
     + SPILL_KILL_POINTS
     + REPLICATION_KILL_POINTS
+    + PROMOTION_KILL_POINTS
 )
 """Every named kill-point, in commit-then-checkpoint order."""
 

@@ -142,6 +142,37 @@ class ReadOnlyReplicaError(ServiceError):
         self.leader = leader
 
 
+class StaleEpochError(ServiceError):
+    """Traffic arrived from (or at) a leader whose epoch has been superseded.
+
+    Raised when a fenced old leader is asked to accept a write, when a
+    replica receives a WAL segment stamped with a lower epoch than the one
+    it has persisted, or when a stale leader tries to ship to a promoted
+    node. Retryable for clients: the router re-points the request at the
+    current-epoch leader.
+    """
+
+    def __init__(
+        self,
+        message: str = "leader epoch has been superseded",
+        epoch: int = 0,
+        current_epoch: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+        self.current_epoch = current_epoch
+
+
+class LeaderUnavailableError(ServiceError):
+    """The router could not reach a writable leader for a relayed request.
+
+    Structured and retryable: raised instead of hanging or surfacing a raw
+    disconnect when the leader connection fails mid-request or no unfenced
+    leader is currently known. Clients retry with backoff (the failover
+    window) and the write lands once a replica has been promoted.
+    """
+
+
 class StalenessError(ServiceError):
     """A read demanded ``require_lsn`` freshness the server could not reach
     within its wait budget. Retryable: the same read succeeds once the

@@ -16,6 +16,13 @@ deterministic and id-identical. This package adds the follower side:
 The leader side (subscriber registry, segment iteration, checkpoint
 shipping, backpressure) lives in :mod:`repro.server.server`; the read/write
 routing front end in :mod:`repro.router`.
+
+Controlled failover rides on the same stream: every subscription carries a
+**leader epoch** (persisted next to the WAL as the ``EPOCH`` file), a
+``PROMOTE`` admin frame flips a replica into the new leader after it
+verifies its WAL tail and bumps the epoch, and lower-epoch traffic is
+rejected everywhere — a revived old leader is fenced out instead of
+forking history, then re-seeded as a replica of the new epoch.
 """
 
 from repro.replication.replica import Replica, ReplicaConfig

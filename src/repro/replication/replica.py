@@ -3,7 +3,11 @@
 One :class:`Replica` owns a durable database directory and a daemon tailer
 thread. The thread's life is a reconnect loop around one subscription:
 
-1. connect, HELLO, then ``SUBSCRIBE {"from_lsn": <applied LSN>}``;
+1. connect, HELLO, then ``SUBSCRIBE {"from_lsn": <applied LSN>, "epoch":
+   <persisted leader epoch>}`` — the leader answers with *its* epoch: a
+   lower one means the replica is talking to a fenced old leader (raise
+   and reconnect); a higher one is adopted and persisted before anything
+   is applied;
 2. if the leader answers ``mode="snapshot"`` (our LSN was folded into a
    checkpoint), receive the checkpoint files, install them as this
    directory's live pair (same atomic ``CURRENT`` dance as a local
@@ -23,6 +27,13 @@ thread. The thread's life is a reconnect loop around one subscription:
 ``pause_apply``/``resume_apply`` freeze the loop between records — the
 router tests use this to manufacture an arbitrarily lagged replica; the
 leader's unacked-bytes window then exerts real backpressure.
+
+Failover hooks: :meth:`stop_tailing` kills the tailer thread but leaves
+the database open (promotion flips it writable in place); :meth:`repoint`
+re-aims the reconnect loop at a new leader, severing the current stream —
+the resubscribe lands on the new leader's epoch handshake, and a replica
+whose history diverged above the new leader's promote LSN is re-seeded
+from a shipped checkpoint (the divergent tail is discarded wholesale).
 """
 
 from __future__ import annotations
@@ -57,6 +68,15 @@ class ReplicaConfig:
 
     auth_token: Optional[str] = None
     """Leader's auth token, when it requires one."""
+
+
+def _epoch_field(fields: dict, key: str) -> int:
+    """A non-negative int epoch/LSN field, or 0 when absent/malformed
+    (pre-epoch peers simply don't send one)."""
+    value = fields.get(key)
+    if isinstance(value, int) and not isinstance(value, bool) and value >= 0:
+        return value
+    return 0
 
 
 def parse_address(address: Union[str, tuple[str, int]]) -> tuple[str, int]:
@@ -134,6 +154,16 @@ class Replica:
 
     def stop(self) -> None:
         """Stop tailing and close the database (idempotent)."""
+        self.stop_tailing()
+        if not self.crashed:
+            self.db.close()
+
+    def stop_tailing(self) -> None:
+        """Stop the tailer thread but keep the database open.
+
+        The promotion path: the server flips the still-open database to
+        writable, so only the subscription must die. Idempotent; safe to
+        call from any thread except the tailer itself."""
         self._stop.set()
         self._resume.set()
         sock = self._sock
@@ -143,10 +173,29 @@ class Replica:
             except OSError:
                 pass
         thread = self._thread
-        if thread is not None and thread.is_alive():
+        if (
+            thread is not None
+            and thread.is_alive()
+            and thread is not threading.current_thread()
+        ):
             thread.join(timeout=30)
-        if not self.crashed:
-            self.db.close()
+
+    def repoint(self, leader: Union[str, tuple[str, int]]) -> None:
+        """Re-aim the tailer at a new leader (surviving-replica path).
+
+        Severs the current stream; the reconnect loop resubscribes to the
+        new address from the applied LSN. If this replica's history runs
+        past the new leader's divergence point, the subscribe handshake
+        re-seeds it from a shipped checkpoint."""
+        self.leader = parse_address(leader)
+        self.leader_name = f"{self.leader[0]}:{self.leader[1]}"
+        self._count("replication.repoints")
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "Replica":
         return self.start()
@@ -177,27 +226,63 @@ class Replica:
             "replica_lag_lsn": max(0, durable - applied),
             "replica_reconnects": self._reconnects,
             "replica_snapshots_installed": self._snapshots_installed,
+            "replica_epoch": self.db.durability.epoch,
             "leader_durable_lsn": durable,
+            "leader": self.leader_name,
         }
 
     def wait_for_lsn(self, lsn: int, timeout_s: float = 30.0) -> bool:
-        """Block until this replica has applied/published ``lsn``."""
+        """Block until this replica has applied/published ``lsn``.
+
+        Returns True on success; raises :class:`ReplicationError` naming
+        the last connection failure on timeout, crash, or stop — a bare
+        False was too easy for callers to ignore."""
         deadline = time.monotonic() + timeout_s
         with self._cond:
             while self._applied < lsn:
                 remaining = deadline - time.monotonic()
-                if remaining <= 0 or self.crashed:
-                    return False
+                if remaining <= 0 or self.crashed or self._stop.is_set():
+                    break
                 self._cond.wait(remaining)
-        return True
+            if self._applied >= lsn:
+                return True
+            applied = self._applied
+        if self.crashed:
+            reason = "replica crashed"
+        elif self._stop.is_set():
+            reason = "replica stopped"
+        else:
+            reason = f"timed out after {timeout_s:.1f}s"
+        raise ReplicationError(
+            f"replica did not apply LSN {lsn} ({reason}; applied "
+            f"{applied}, connected={self._connected}"
+            f"{self._last_error_suffix()})"
+        )
 
     def wait_connected(self, timeout_s: float = 30.0) -> bool:
+        """Block until the subscription stream is up.
+
+        Returns True on success; raises :class:`ReplicationError` naming
+        the last connection failure on timeout, crash, or stop."""
         deadline = time.monotonic() + timeout_s
         while not self._connected:
-            if time.monotonic() >= deadline or self._stop.is_set():
-                return False
+            if time.monotonic() >= deadline or self._stop.is_set() or self.crashed:
+                if self.crashed:
+                    reason = "replica crashed"
+                elif self._stop.is_set():
+                    reason = "replica stopped"
+                else:
+                    reason = f"timed out after {timeout_s:.1f}s"
+                raise ReplicationError(
+                    f"replica failed to connect to leader "
+                    f"{self.leader_name} ({reason}"
+                    f"{self._last_error_suffix()})"
+                )
             time.sleep(0.005)
         return True
+
+    def _last_error_suffix(self) -> str:
+        return f"; last error: {self._last_error}" if self._last_error else ""
 
     def pause_apply(self) -> None:
         """Test hook: freeze the apply loop before its next record. The
@@ -255,10 +340,31 @@ class Replica:
                 hello["auth"] = {"token": self.config.auth_token}
             self._send(sock, wire.MSG_HELLO, hello)
             self._expect_success(self._recv(sock, reader))
-            self._send(sock, wire.MSG_SUBSCRIBE, {"from_lsn": self.applied_lsn})
+            # Kill-point for the failover matrix: a surviving replica
+            # dying just before it resubscribes to the (new) leader.
+            self.injector.reach("promote.before_resubscribe")
+            self._send(
+                sock,
+                wire.MSG_SUBSCRIBE,
+                {"from_lsn": self.applied_lsn, "epoch": self.db.durability.epoch},
+            )
             fields = self._expect_success(self._recv(sock, reader))
+            leader_epoch = _epoch_field(fields, "epoch")
+            if leader_epoch and leader_epoch < self.db.durability.epoch:
+                # Fenced old leader: refuse its history and reconnect
+                # (the operator re-points us at the promoted node).
+                self._count("replication.stale_leaders")
+                raise ReplicationError(
+                    f"leader {self.leader_name} is at stale epoch "
+                    f"{leader_epoch}; this replica has seen epoch "
+                    f"{self.db.durability.epoch}"
+                )
             if fields.get("mode") == "snapshot":
                 self._receive_snapshot(sock, reader)
+            if leader_epoch:
+                self.db.durability.adopt_epoch(
+                    leader_epoch, _epoch_field(fields, "promote_lsn")
+                )
             self._connected = True
             while not self._stop.is_set():
                 tag, fields = self._recv(sock, reader)
@@ -363,6 +469,15 @@ class Replica:
             with self._cond:
                 self._leader_durable = max(self._leader_durable, durable)
         engine = self.db.durability
+        segment_epoch = _epoch_field(fields, "epoch")
+        if segment_epoch and segment_epoch < engine.epoch:
+            # Lower-epoch traffic is fenced out: a revived old leader
+            # must never make this replica diverge.
+            self._count("replication.segments_fenced")
+            raise ReplicationError(
+                f"rejecting WAL segment stamped with stale epoch "
+                f"{segment_epoch} (fence is at epoch {engine.epoch})"
+            )
         applied_any = False
         for index, payload in enumerate(records):
             if not isinstance(payload, bytes):

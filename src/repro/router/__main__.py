@@ -68,6 +68,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.2,
         help="replica STATUS poll interval",
     )
+    parser.add_argument(
+        "--write-retries",
+        type=int,
+        default=4,
+        help="extra write-relay attempts across a failover window before "
+        "surfacing a retryable leader-unavailable failure",
+    )
+    parser.add_argument(
+        "--write-retry-backoff-s",
+        type=float,
+        default=0.05,
+        help="first write-relay retry delay (doubles per attempt)",
+    )
     return parser
 
 
@@ -83,6 +96,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             backend_auth_token=args.backend_auth_token or args.auth_token,
             max_lag_lsn=args.max_lag_lsn,
             health_interval_s=args.health_interval_s,
+            write_retries=args.write_retries,
+            write_retry_backoff_s=args.write_retry_backoff_s,
         )
     )
     host, port = router.start()

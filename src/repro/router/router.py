@@ -18,11 +18,26 @@ servers run, memoised per query text; queries that do not parse are
 forwarded to the leader so the client sees the backend's own error,
 byte-identical to a single-server deployment.
 
-Health: a poller thread issues STATUS to every replica. Lag above
+Health: a poller thread issues STATUS to every backend. Lag above
 ``max_lag_lsn`` or repeated failures evict a replica from rotation
 (``router.evictions``); a healthy poll within the bound re-admits it
 (``router.readmissions``). Eviction only stops *new* reads — it never
 interrupts a result mid-stream.
+
+Failover: every poll gossips the highest leader epoch the router has
+observed (fencing a stale leader server-side) and reads back each
+backend's current role and epoch. Writes go to the live, unfenced
+backend reporting role ``leader`` with the highest epoch — when a replica
+is promoted, the health loop re-points writes at it (``router.repoints``)
+and the old leader is re-admitted as a replica once it rejoins at the new
+epoch. A write relay that cannot reach a writable leader retries with
+bounded backoff and ultimately surfaces a structured, retryable
+:class:`~repro.errors.LeaderUnavailableError` instead of hanging or
+leaking a raw disconnect; a connection lost *after* a write was fully
+sent is ambiguous (it may have applied) and surfaces immediately so the
+client can read-back before retrying. Replicas still on a lower epoch
+than the highest observed are evicted from read rotation until they
+rejoin — their divergent tail must not serve reads on the new timeline.
 """
 
 from __future__ import annotations
@@ -37,10 +52,12 @@ from repro import wire
 from repro.cypher import analyze, parse
 from repro.errors import (
     AuthenticationError,
+    LeaderUnavailableError,
     ProtocolError,
     ReadOnlyReplicaError,
     ReproError,
     ServiceShutdownError,
+    StaleEpochError,
     StalenessError,
 )
 from repro.replication.replica import parse_address
@@ -71,18 +88,35 @@ class RouterConfig:
     eviction_failures: int = 3
     """Consecutive failed health polls before a replica is evicted."""
 
+    write_retries: int = 4
+    """Extra attempts for a write relay after an unambiguous failure
+    (connect refused, send failed, or a structured rejection from a
+    demoted/fenced node) before surfacing a retryable
+    :class:`~repro.errors.LeaderUnavailableError`."""
+
+    write_retry_backoff_s: float = 0.05
+    """First write-relay retry delay; doubles per attempt up to 1s."""
+
     health_interval_s: float = 0.2
     connect_timeout_s: float = 5.0
     io_timeout_s: float = 120.0
     handshake_timeout_s: float = 5.0
 
 
-class _ReplicaState:
-    """What the health poller knows about one replica."""
+class _BackendState:
+    """What the health poller knows about one backend (leader or replica).
 
-    def __init__(self, address: tuple[str, int]) -> None:
+    ``role`` and ``epoch`` are whatever the backend last reported — a
+    PROMOTE flips a replica's role to ``leader`` under us, and a rejoined
+    old leader reports ``replica``; the router follows the reports."""
+
+    def __init__(self, address: tuple[str, int], role: str) -> None:
         self.address = address
         self.name = f"{address[0]}:{address[1]}"
+        self.role = role  # configured role until the first healthy poll
+        self.epoch = 0
+        self.fenced = False
+        self.alive = False
         self.applied_lsn = 0
         self.lag_lsn = 0
         self.failures = 0
@@ -92,6 +126,10 @@ class _ReplicaState:
     def fields(self) -> dict:
         return {
             "address": self.name,
+            "role": self.role,
+            "epoch": self.epoch,
+            "fenced": self.fenced,
+            "alive": self.alive,
             "applied_lsn": self.applied_lsn,
             "lag_lsn": self.lag_lsn,
             "evicted": self.evicted,
@@ -160,11 +198,15 @@ class Router:
     def __init__(self, config: RouterConfig) -> None:
         self.config = config
         self.leader = parse_address(config.leader)
-        self.replicas = [
-            _ReplicaState(parse_address(address)) for address in config.replicas
+        leader_state = _BackendState(self.leader, "leader")
+        self.backends = [leader_state] + [
+            _BackendState(parse_address(address), "replica")
+            for address in config.replicas
         ]
         self.metrics = MetricsRegistry()
         self.leader_applied = 0
+        self.highest_epoch = 0
+        self._write_target = leader_state
         self._lock = threading.Lock()
         self._rr = 0
         self._classify_cache: dict[str, Optional[bool]] = {}
@@ -175,6 +217,21 @@ class Router:
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self.address: Optional[tuple[str, int]] = None
+
+    @property
+    def replicas(self) -> list:
+        """Backends currently acting as replicas — the read rotation pool.
+        Membership is dynamic: a promoted replica leaves, a rejoined old
+        leader enters."""
+        return [state for state in self.backends if state.role == "replica"]
+
+    @property
+    def write_target(self) -> _BackendState:
+        """The backend writes are currently pointed at."""
+        return self._write_target
+
+    def write_target_address(self) -> tuple[str, int]:
+        return self._write_target.address
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -260,35 +317,12 @@ class Router:
 
     def _health_loop(self) -> None:
         while not self._stop.is_set():
-            self._poll_leader()
-            for state in self.replicas:
-                self._poll_replica(state)
+            for state in self.backends:
+                self._poll_backend(state)
+            self._update_write_target()
             self._stop.wait(self.config.health_interval_s)
 
-    def _poll_leader(self) -> None:
-        config = self.config
-        backend = self._health_backends.get(self.leader)
-        try:
-            if backend is None:
-                backend = _Backend(
-                    self.leader,
-                    config.backend_auth_token,
-                    config.connect_timeout_s,
-                    min(config.io_timeout_s, 5.0),
-                )
-                self._health_backends[self.leader] = backend
-            backend.send(wire.MSG_STATUS, {})
-            fields = backend.expect_success()
-        except (ReproError, OSError, ValueError):
-            self._health_backends.pop(self.leader, None)
-            if backend is not None:
-                backend.close()
-            return
-        self.leader_applied = max(
-            self.leader_applied, int(fields.get("applied_lsn") or 0)
-        )
-
-    def _poll_replica(self, state: _ReplicaState) -> None:
+    def _poll_backend(self, state: _BackendState) -> None:
         config = self.config
         backend = self._health_backends.get(state.address)
         try:
@@ -300,13 +334,17 @@ class Router:
                     min(config.io_timeout_s, 5.0),
                 )
                 self._health_backends[state.address] = backend
-            backend.send(wire.MSG_STATUS, {})
+            # Gossip the highest epoch we have observed: a stale leader
+            # hearing of a newer one fences itself server-side, so it
+            # rejects writes even from clients that bypass the router.
+            backend.send(wire.MSG_STATUS, {"epoch": self.highest_epoch})
             fields = backend.expect_success()
-        except (ReproError, OSError, ValueError) as _exc:
+        except (ReproError, OSError, ValueError):
             self._health_backends.pop(state.address, None)
             if backend is not None:
                 backend.close()
             state.failures += 1
+            state.alive = False
             state.polled = True
             if not state.evicted and state.failures >= config.eviction_failures:
                 state.evicted = True
@@ -314,7 +352,24 @@ class Router:
             return
         state.failures = 0
         state.polled = True
+        state.alive = True
+        role = fields.get("role")
+        if role in ("leader", "replica"):
+            state.role = role
+        epoch = fields.get("epoch")
+        if isinstance(epoch, int) and not isinstance(epoch, bool) and epoch > 0:
+            state.epoch = epoch
+            if epoch > self.highest_epoch:
+                self.highest_epoch = epoch
+        state.fenced = bool(fields.get("fenced"))
         state.applied_lsn = int(fields.get("applied_lsn") or 0)
+        if state.role == "leader":
+            # Leaders never serve routed reads; the current write target's
+            # applied LSN is the watermark replicas lag against.
+            state.evicted = True
+            if state is self._write_target and not state.fenced:
+                self.leader_applied = state.applied_lsn
+            return
         # Lag as the replica sees it, or against the leader's applied LSN —
         # whichever is larger. A stalled replica stops learning the
         # leader's watermark, so its self-reported lag alone can flatline.
@@ -322,13 +377,40 @@ class Router:
             int(fields.get("replica_lag_lsn") or 0),
             self.leader_applied - state.applied_lsn,
         )
-        if state.lag_lsn > config.max_lag_lsn:
+        # A replica still on an older epoch carries a possibly-divergent
+        # tail; its LSNs are not comparable to the new timeline's, so it
+        # must not serve reads until it rejoins at the current epoch.
+        stale_epoch = bool(
+            self.highest_epoch
+            and state.epoch
+            and state.epoch < self.highest_epoch
+        )
+        if state.lag_lsn > config.max_lag_lsn or stale_epoch:
             if not state.evicted:
                 state.evicted = True
                 self.metrics.counter("router.evictions").inc()
         elif state.evicted:
             state.evicted = False
             self.metrics.counter("router.readmissions").inc()
+
+    def _update_write_target(self) -> None:
+        """Point writes at the live, unfenced leader with the highest
+        epoch. The epoch can only move up — a revived old leader on a
+        stale epoch is never re-adopted, even if the promoted node is
+        down (writes fail retryably until an operator promotes again)."""
+        candidates = [
+            state
+            for state in self.backends
+            if state.role == "leader" and state.alive and not state.fenced
+        ]
+        if not candidates:
+            return
+        best = max(candidates, key=lambda state: state.epoch)
+        current = self._write_target
+        if best is not current and best.epoch >= current.epoch:
+            self._write_target = best
+            self.leader_applied = best.applied_lsn
+            self.metrics.counter("router.repoints").inc()
 
     # ------------------------------------------------------------------
     # Routing decisions
@@ -374,10 +456,14 @@ class Router:
             sessions = len(self._sessions)
         return {
             "role": "router",
-            "leader": f"{self.leader[0]}:{self.leader[1]}",
+            "leader": self._write_target.name,
+            "configured_leader": f"{self.leader[0]}:{self.leader[1]}",
+            "highest_epoch": self.highest_epoch,
+            "backends": [state.fields() for state in self.backends],
             "replicas": [state.fields() for state in self.replicas],
             "sessions": sessions,
             "reroutes": self.metrics.counter("router.reroutes").value,
+            "repoints": self.metrics.counter("router.repoints").value,
         }
 
 
@@ -632,22 +718,72 @@ class _Session:
         self._run_on_leader(run_fields, is_write=is_write)
 
     def _run_on_leader(self, run_fields: dict, is_write: bool) -> None:
-        try:
-            backend = self._backend(self.router.leader)
-            backend.send(wire.MSG_RUN, run_fields)
-            tag, reply = backend.recv()
-        except (OSError, ProtocolError) as exc:
-            backend = self._backends.get(self.router.leader)
-            if backend is not None:
-                self._drop_backend(backend)
-            self._send_failure(
-                ServiceShutdownError(f"leader unreachable: {exc}")
-            )
+        """Relay to the current write target with bounded retry-backoff.
+
+        Only *unambiguous* failures are retried: a connect/send failure
+        (nothing reached the backend) or a structured rejection from a
+        node that turned out to be a replica or a fenced old leader (the
+        write was refused, so retrying cannot double-apply). A connection
+        lost after a write was fully sent is ambiguous — it may have
+        executed — so it surfaces immediately as a retryable
+        LeaderUnavailableError and the client decides (read-back, then
+        retry). Reads carry no such risk and always retry."""
+        attempts = max(1, self.config.write_retries + 1)
+        delay = self.config.write_retry_backoff_s
+        last_error: Optional[str] = None
+        for attempt in range(attempts):
+            if attempt:
+                self.metrics.counter("router.write_retries").inc()
+                # Back off so the health loop can observe a promotion and
+                # re-point the target between attempts.
+                if self.router._stop.wait(delay):
+                    break
+                delay = min(delay * 2, 1.0)
+            address = self.router.write_target_address()
+            sent = False
+            try:
+                backend = self._backend(address)
+                backend.send(wire.MSG_RUN, run_fields)
+                sent = True
+                tag, reply = backend.recv()
+            except (OSError, ProtocolError) as exc:
+                stale = self._backends.get(address)
+                if stale is not None:
+                    self._drop_backend(stale)
+                last_error = f"{type(exc).__name__}: {exc}"
+                if sent and is_write:
+                    self._send_failure(
+                        LeaderUnavailableError(
+                            "leader connection lost mid-request — the "
+                            "write may or may not have applied "
+                            f"({last_error}); verify before retrying"
+                        )
+                    )
+                    return
+                continue
+            if tag == wire.MSG_FAILURE:
+                exc = wire.failure_exception(reply)
+                if (
+                    isinstance(exc, (ReadOnlyReplicaError, StaleEpochError))
+                    and attempt < attempts - 1
+                ):
+                    # The target was demoted or fenced under us; the write
+                    # was rejected outright, so re-resolving and retrying
+                    # is safe.
+                    last_error = f"{type(exc).__name__}: {exc}"
+                    self.metrics.counter("router.reroutes").inc()
+                    continue
+            if tag == wire.MSG_SUCCESS:
+                self._open = backend
+                self._open_is_write = is_write
+            self._send(tag, reply)
             return
-        if tag == wire.MSG_SUCCESS:
-            self._open = backend
-            self._open_is_write = is_write
-        self._send(tag, reply)
+        self._send_failure(
+            LeaderUnavailableError(
+                f"no writable leader after {attempts} attempts"
+                + (f" (last error: {last_error})" if last_error else "")
+            )
+        )
 
     def _relay_result(self, tag: int, fields: dict) -> None:
         backend = self._open
@@ -693,16 +829,36 @@ class _Session:
         # The leader validates and plans; the router keeps only the text
         # (re-sent verbatim on RUN) so statements outlive any one backend
         # connection and work on replicas that never saw the PREPARE.
-        try:
-            backend = self._backend(self.router.leader)
-            backend.send(wire.MSG_PREPARE, {"query": query})
-            tag, reply = backend.recv()
-        except (OSError, ProtocolError) as exc:
-            backend = self._backends.get(self.router.leader)
-            if backend is not None:
-                self._drop_backend(backend)
+        # PREPARE is side-effect free, so unlike a write it retries even
+        # after a mid-request disconnect.
+        attempts = max(1, self.config.write_retries + 1)
+        delay = self.config.write_retry_backoff_s
+        last_error: Optional[str] = None
+        tag = reply = None
+        for attempt in range(attempts):
+            if attempt:
+                if self.router._stop.wait(delay):
+                    break
+                delay = min(delay * 2, 1.0)
+            address = self.router.write_target_address()
+            try:
+                backend = self._backend(address)
+                backend.send(wire.MSG_PREPARE, {"query": query})
+                tag, reply = backend.recv()
+            except (OSError, ProtocolError) as exc:
+                stale = self._backends.get(address)
+                if stale is not None:
+                    self._drop_backend(stale)
+                last_error = f"{type(exc).__name__}: {exc}"
+                tag = None
+                continue
+            break
+        if tag is None:
             self._send_failure(
-                ServiceShutdownError(f"leader unreachable: {exc}")
+                LeaderUnavailableError(
+                    "no leader reachable for PREPARE"
+                    + (f" (last error: {last_error})" if last_error else "")
+                )
             )
             return
         if tag != wire.MSG_SUCCESS:

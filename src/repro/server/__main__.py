@@ -84,6 +84,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="auth token for the leader connection (defaults to "
         "--auth-token)",
     )
+    parser.add_argument(
+        "--promote",
+        action="store_true",
+        help="offline promotion: open the (former replica) --data "
+        "directory, replay its WAL tail through recovery, bump the "
+        "persisted leader epoch, and serve as the new leader",
+    )
     return parser
 
 
@@ -106,6 +113,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     replica = None
+    if args.promote and args.replica_of:
+        parser.error("--promote conflicts with --replica-of: a promoted "
+                     "node serves as the leader")
+    if args.promote and not args.data:
+        parser.error("--promote requires --data (the former replica's "
+                     "durable directory)")
     if args.replica_of:
         if not args.data:
             parser.error("--replica-of requires --data (the replica's own "
@@ -119,7 +132,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         )
         db = replica.db
     elif args.data:
+        # Opening replays the WAL tail through recovery; --promote then
+        # bumps the persisted epoch so the old leader is fenced out.
         db = GraphDatabase.open(args.data)
+        if args.promote:
+            epoch = db.durability.promote()
+            print(
+                f"promoted to leader at epoch {epoch} "
+                f"(divergence LSN {db.durability.promote_lsn})",
+                flush=True,
+            )
     else:
         db = GraphDatabase()
     service = QueryService(

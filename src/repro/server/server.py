@@ -53,6 +53,7 @@ from repro.errors import (
     ReplicationError,
     ReproError,
     ServiceShutdownError,
+    StaleEpochError,
     StalenessError,
 )
 from repro.service import QueryOutcome, QueryService
@@ -104,10 +105,11 @@ class ServerConfig:
     caps concurrently *awaited* queries, not executed ones)."""
 
     replica_of: Optional[str] = None
-    """When set (``host:port`` of the leader), this server is a read-only
-    replica: write statements are rejected with a structured
+    """When set (``host:port`` of the leader), this server *starts as* a
+    read-only replica: write statements are rejected with a structured
     :class:`~repro.errors.ReadOnlyReplicaError` naming the leader, and
-    SUBSCRIBE is refused (no chaining)."""
+    SUBSCRIBE is refused (no chaining). The role is dynamic state on
+    :class:`Server` — a ``PROMOTE`` flips it to leader in place."""
 
     ship_poll_s: float = 0.02
     """Leader-side shipping: how often an idle subscriber session polls the
@@ -166,6 +168,15 @@ class Server:
         # Set by the --replica-of entrypoint (and replica tests) so STATUS
         # can report the tailer's connection state and lag.
         self.replica = None
+        # Failover state: unlike the frozen config it starts from, the
+        # role is dynamic — a PROMOTE flips a replica to leader in place.
+        self.role = "replica" if self.config.replica_of else "leader"
+        self.leader_name: Optional[str] = self.config.replica_of
+        # Highest epoch this (leader) server has been fenced by: gossip —
+        # a STATUS or SUBSCRIBE carrying a higher epoch than ours means a
+        # promotion superseded us. A fenced leader never acknowledges
+        # another write and refuses subscriptions.
+        self.fenced_by: Optional[int] = None
 
     # ------------------------------------------------------------------
 
@@ -196,23 +207,68 @@ class Server:
     def draining(self) -> bool:
         return self._draining
 
+    @property
+    def epoch(self) -> int:
+        """The leader epoch this server serves under (1 when non-durable)."""
+        engine = self.service.db.durability
+        return engine.epoch if engine is not None else 1
+
+    def fence(self, epoch: int) -> None:
+        """Record that a higher epoch superseded this leader: from now on
+        it rejects writes and subscriptions with a retryable
+        :class:`StaleEpochError` until it rejoins as a replica."""
+        if self.fenced_by is None or epoch > self.fenced_by:
+            if self.fenced_by is None:
+                self.metrics.counter("server.fenced").inc()
+            self.fenced_by = epoch
+
+    def promote(self) -> int:
+        """Flip this replica into the new leader (blocking; runs in a
+        wait thread). Stops the tailer (keeping the database open),
+        verifies the WAL tail and bumps the persisted epoch through
+        :meth:`DurabilityEngine.promote`, then makes the service writable
+        by flipping the role — SUBSCRIBE works immediately after (shipping
+        is per-session), so survivors can re-point here."""
+        engine = self.service.db.durability
+        if engine is None:
+            raise ReplicationError("cannot promote a non-durable server")
+        if self.role != "replica":
+            raise ReplicationError(
+                f"only a replica can be promoted (this server is a "
+                f"{self.role} at epoch {engine.epoch})"
+            )
+        replica = self.replica
+        if replica is not None:
+            replica.stop_tailing()
+        new_epoch = engine.promote()
+        self.role = "leader"
+        self.leader_name = None
+        self.fenced_by = None
+        self.metrics.counter("server.promotions").inc()
+        return new_epoch
+
     def status_fields(self) -> dict:
-        """The STATUS response: role, LSN watermarks, subscriber lag."""
+        """The STATUS response: role, epoch, LSN watermarks, subscriber lag."""
         db = self.service.db
         engine = db.durability
         fields: dict = {
-            "role": "replica" if self.config.replica_of else "leader",
+            "role": self.role,
+            "epoch": self.epoch,
+            "fenced": self.fenced_by is not None,
             "published_lsn": db.store.mvcc.published,
             "sessions": self.sessions_open,
             "draining": self._draining,
         }
-        if self.config.replica_of:
-            fields["leader"] = self.config.replica_of
+        if self.fenced_by is not None:
+            fields["fenced_by"] = self.fenced_by
+        if self.leader_name:
+            fields["leader"] = self.leader_name
         if engine is not None:
             position = engine.replication_position()
             fields["applied_lsn"] = engine.applied_lsn()
             fields["durable_lsn"] = position["durable_seq"]
             fields["segment_floor"] = position["segment_floor"]
+            fields["promote_lsn"] = position["promote_lsn"]
         else:
             fields["applied_lsn"] = db.store.mvcc.published
         replica = self.replica
@@ -515,6 +571,8 @@ class _Session:
                 "version": max(common),
                 "server": _server_banner(),
                 "session": self.session_id,
+                "role": self.server.role,
+                "epoch": self.server.epoch,
             },
         )
         return True
@@ -535,9 +593,13 @@ class _Session:
         elif tag == wire.MSG_RESET:
             await self._on_reset()
         elif tag == wire.MSG_STATUS:
-            await self._on_status()
+            await self._on_status(fields)
         elif tag == wire.MSG_SUBSCRIBE:
             await self._on_subscribe(fields)
+        elif tag == wire.MSG_PROMOTE:
+            await self._on_promote(fields)
+        elif tag == wire.MSG_REPOINT:
+            await self._on_repoint(fields)
         elif tag == wire.MSG_WAL_ACK:
             await self._send_failure(
                 ProtocolError("WAL_ACK outside an active subscription")
@@ -594,11 +656,13 @@ class _Session:
             )
             return
         loop = asyncio.get_running_loop()
-        leader = self.config.replica_of
-        if leader is not None:
-            # Classify before submitting: a replica serves reads only. The
-            # prepare goes through the plan cache, so the classification
-            # costs a lookup on the steady state.
+        server = self.server
+        fenced_by = server.fenced_by
+        if server.role == "replica" or fenced_by is not None:
+            # Classify before submitting: a replica serves reads only,
+            # and a fenced old leader must never acknowledge another
+            # write. The prepare goes through the plan cache, so the
+            # classification costs a lookup on the steady state.
             try:
                 cached = await loop.run_in_executor(
                     self.server._executor,
@@ -607,13 +671,26 @@ class _Session:
             except ReproError as exc:
                 await self._send_failure(exc)
                 return
-            if cached.analyzed.is_write:
+            if cached.analyzed.is_write and server.role == "replica":
+                leader = server.leader_name or "<unknown>"
                 self.metrics.counter("server.replica_write_rejections").inc()
                 await self._send_failure(
                     ReadOnlyReplicaError(
                         "this server is a read-only replica — "
                         f"send writes to the leader at {leader}",
                         leader=leader,
+                    )
+                )
+                return
+            if cached.analyzed.is_write and fenced_by is not None:
+                self.metrics.counter("server.fenced_write_rejections").inc()
+                await self._send_failure(
+                    StaleEpochError(
+                        f"this leader (epoch {server.epoch}) has been "
+                        f"superseded by epoch {fenced_by} — writes belong "
+                        "to the promoted leader",
+                        epoch=server.epoch,
+                        current_epoch=fenced_by,
                     )
                 )
                 return
@@ -746,9 +823,70 @@ class _Session:
         self.metrics.counter("server.resets").inc()
         await self._send(wire.MSG_SUCCESS, {})
 
-    async def _on_status(self) -> None:
+    async def _on_status(self, fields: dict) -> None:
         self.metrics.counter("server.status_requests").inc()
+        peer_epoch = fields.get("epoch")
+        if (
+            isinstance(peer_epoch, int)
+            and not isinstance(peer_epoch, bool)
+            and self.server.role == "leader"
+            and peer_epoch > self.server.epoch
+        ):
+            # Gossip fencing: the poller (the router's health loop) has
+            # observed a higher epoch — a promotion happened without us.
+            self.server.fence(peer_epoch)
         await self._send(wire.MSG_SUCCESS, self.server.status_fields())
+
+    async def _on_promote(self, fields: dict) -> None:
+        server = self.server
+        self.metrics.counter("server.promote_requests").inc()
+        loop = asyncio.get_running_loop()
+        try:
+            new_epoch = await loop.run_in_executor(
+                server._executor, server.promote
+            )
+        except SimulatedCrashError:
+            # The injector killed the candidate mid-promotion: the
+            # session dies like a crashed process (no FAILURE frame).
+            self._writer.close()
+            return
+        except ReproError as exc:
+            await self._send_failure(exc)
+            return
+        engine = server.service.db.durability
+        await self._send(
+            wire.MSG_SUCCESS,
+            {
+                "role": server.role,
+                "epoch": new_epoch,
+                "promote_lsn": engine.promote_lsn,
+                "applied_lsn": engine.applied_lsn(),
+            },
+        )
+
+    async def _on_repoint(self, fields: dict) -> None:
+        server = self.server
+        leader = fields.get("leader")
+        if not isinstance(leader, str) or not leader:
+            await self._send_failure(
+                ProtocolError("REPOINT needs a 'leader' host:port string")
+            )
+            return
+        if server.role != "replica" or server.replica is None:
+            await self._send_failure(
+                ReplicationError(
+                    "REPOINT only applies to a running replica"
+                )
+            )
+            return
+        try:
+            server.replica.repoint(leader)
+        except ValueError as exc:
+            await self._send_failure(ProtocolError(str(exc)))
+            return
+        server.leader_name = server.replica.leader_name
+        self.metrics.counter("server.repoints").inc()
+        await self._send(wire.MSG_SUCCESS, {"leader": server.leader_name})
 
     def _await_published(self, require_lsn: int) -> bool:
         """Block (in a wait thread) until this server's published LSN
@@ -777,11 +915,11 @@ class _Session:
                 )
             )
             return
-        if self.config.replica_of is not None:
+        if server.role != "leader":
             await self._send_failure(
                 ReplicationError(
                     "cannot subscribe to a replica — subscribe to the "
-                    f"leader at {self.config.replica_of}"
+                    f"leader at {server.leader_name or '<unknown>'}"
                 )
             )
             return
@@ -789,6 +927,27 @@ class _Session:
         if isinstance(from_lsn, bool) or not isinstance(from_lsn, int) or from_lsn < 0:
             await self._send_failure(
                 ProtocolError("SUBSCRIBE needs a non-negative integer 'from_lsn'")
+            )
+            return
+        sub_epoch = fields.get("epoch", 0)
+        if isinstance(sub_epoch, bool) or not isinstance(sub_epoch, int) or sub_epoch < 0:
+            await self._send_failure(
+                ProtocolError("SUBSCRIBE 'epoch' must be a non-negative integer")
+            )
+            return
+        if sub_epoch > engine.epoch:
+            # The subscriber has seen a newer epoch than ours: *we* are
+            # the stale leader. Fence ourselves and refuse the stream.
+            server.fence(sub_epoch)
+        if server.fenced_by is not None:
+            await self._send_failure(
+                StaleEpochError(
+                    f"this leader (epoch {engine.epoch}) has been "
+                    f"superseded by epoch {server.fenced_by} — subscribe "
+                    "to the promoted leader",
+                    epoch=engine.epoch,
+                    current_epoch=server.fenced_by,
+                )
             )
             return
         sub = {
@@ -800,7 +959,7 @@ class _Session:
         server.subscribers[self.session_id] = sub
         self.metrics.counter("server.subscriptions").inc()
         try:
-            await self._ship_loop(engine, from_lsn, sub)
+            await self._ship_loop(engine, from_lsn, sub, sub_epoch)
         except SimulatedCrashError:
             # The fault injector killed the leader mid-ship: the session
             # dies like a crashed process would (no FAILURE frame, the
@@ -811,15 +970,40 @@ class _Session:
         finally:
             server.subscribers.pop(self.session_id, None)
 
-    async def _ship_loop(self, engine, from_lsn: int, sub: dict) -> None:
+    async def _ship_loop(
+        self, engine, from_lsn: int, sub: dict, sub_epoch: int = 0
+    ) -> None:
         loop = asyncio.get_running_loop()
         executor = self.server._executor
         position = engine.replication_position()
-        if from_lsn < position["segment_floor"]:
-            # The requested start pre-dates the live segment: those records
-            # were folded into the checkpoint, so ship the checkpoint
+        needs_snapshot = from_lsn < position["segment_floor"]
+        if (
+            not needs_snapshot
+            and sub_epoch
+            and sub_epoch < engine.epoch
+            and from_lsn > position["promote_lsn"]
+        ):
+            # Divergence discard: the subscriber's history extends past
+            # the point where this leader's epoch began, on an older
+            # timeline — those records were never acknowledged by this
+            # epoch and must go. Re-seed it from the checkpoint (the
+            # install replaces its live pair wholesale).
+            self.metrics.counter("replication.reseeds").inc()
+            needs_snapshot = True
+        if not needs_snapshot and from_lsn > position["durable_seq"]:
+            # Ahead of us even without an epoch gap (should not happen on
+            # a shared timeline); reseeding is the safe convergence path.
+            self.metrics.counter("replication.reseeds").inc()
+            needs_snapshot = True
+        epoch_fields = {
+            "epoch": engine.epoch,
+            "promote_lsn": position["promote_lsn"],
+        }
+        if needs_snapshot:
+            # The requested start pre-dates the live segment (folded into
+            # the checkpoint) or diverges from it: ship the checkpoint
             # itself and resume the log from its floor.
-            await self._send(wire.MSG_SUCCESS, {"mode": "snapshot"})
+            await self._send(wire.MSG_SUCCESS, {"mode": "snapshot", **epoch_fields})
             resume_lsn, files = await loop.run_in_executor(
                 executor, engine.read_checkpoint
             )
@@ -840,6 +1024,7 @@ class _Session:
                     "mode": "wal",
                     "from_lsn": from_lsn,
                     "durable_lsn": position["durable_seq"],
+                    **epoch_fields,
                 },
             )
 
@@ -849,6 +1034,18 @@ class _Session:
         last_activity = loop.time()
         while True:
             if self.server.draining or self._disconnected:
+                return
+            if self.server.fenced_by is not None:
+                # Fenced mid-stream: stop feeding subscribers our stale
+                # timeline; they resubscribe to the promoted leader.
+                await self._send_failure(
+                    StaleEpochError(
+                        f"this leader (epoch {engine.epoch}) has been "
+                        f"superseded by epoch {self.server.fenced_by}",
+                        epoch=engine.epoch,
+                        current_epoch=self.server.fenced_by,
+                    )
+                )
                 return
             # A crashed (fault-injected) leader is a dead process: it must
             # not keep heartbeating subscribers that reconnect to it.
@@ -929,6 +1126,7 @@ class _Session:
                         "last": 0,
                         "records": [],
                         "durable_lsn": position["durable_seq"],
+                        "epoch": engine.epoch,
                     },
                 )
                 last_activity = loop.time()
@@ -952,6 +1150,7 @@ class _Session:
                 "last": last,
                 "records": records,
                 "durable_lsn": position["durable_seq"],
+                "epoch": engine.epoch,
             },
         )
         if injector.will_fire("ship.torn_segment"):

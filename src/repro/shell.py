@@ -30,6 +30,9 @@ Inside the REPL, statements end with ``;``. Meta-commands:
                                     (``python -m repro.server``); queries now
                                     run over the wire protocol
     :disconnect                 drop the remote connection, back to local
+    :promote                    (remote only) promote the connected replica
+                                to leader: it verifies its WAL tail, bumps
+                                the leader epoch, and flips writable
 
 Queries run through a :class:`repro.service.QueryService` (a 2-worker
 instance), so ``:metrics`` reflects real service traffic: latency
@@ -145,6 +148,7 @@ class Shell:
             ":load": self._cmd_load,
             ":connect": self._cmd_connect,
             ":disconnect": self._cmd_disconnect,
+            ":promote": self._cmd_promote,
         }.get(command)
         if handler is None:
             self.println(f"unknown command {command!r} — :help for commands")
@@ -155,6 +159,7 @@ class Shell:
             ":exit",
             ":connect",
             ":disconnect",
+            ":promote",
         ):
             self.println(
                 f"{command} acts on the local database — :disconnect first"
@@ -372,6 +377,17 @@ class Shell:
         self.remote.close()
         self.remote = None
         self.println("disconnected — queries run on the local database again")
+
+    def _cmd_promote(self, argument: str) -> None:
+        if self.remote is None:
+            self.println(":promote acts on a remote replica — :connect first")
+            return
+        fields = self.remote.promote()
+        self.println(
+            f"promoted to {fields.get('role')} at epoch {fields.get('epoch')} "
+            f"(divergence LSN {fields.get('promote_lsn')}, "
+            f"applied LSN {fields.get('applied_lsn')})"
+        )
 
 
 def main(argv: Optional[list[str]] = None) -> int:

@@ -28,7 +28,15 @@ Message flow (client → server requests, server → client responses):
                {"has_more": bool, …summary}`` — credit-based backpressure
 ``DISCARD``    drop the open result → ``SUCCESS {summary}``
 ``RESET``      clear session state (open result) → ``SUCCESS {}``
-``STATUS``     server role / LSN watermarks / subscriber lag → ``SUCCESS``
+``STATUS``     server role / epoch / LSN watermarks / subscriber lag →
+               ``SUCCESS`` (an ``{"epoch": N}`` field in the request
+               gossips the highest epoch the sender has observed; a leader
+               hearing a higher epoch fences itself)
+``PROMOTE``    admin: flip a replica into the new leader — drains its
+               apply loop, verifies the WAL tail, bumps the persisted
+               epoch → ``SUCCESS {"epoch", "role", "promote_lsn"}``
+``REPOINT``    admin: ``{"leader": "host:port"}`` re-points a replica's
+               tailer at a new leader → ``SUCCESS {"leader"}``
 ``GOODBYE``    close the session (no response)
 =============  ==========================================================
 
@@ -61,11 +69,13 @@ from repro import errors
 from repro.durability.encoding import read_value, write_value
 from repro.errors import (
     DurabilityError,
+    LeaderUnavailableError,
     MemoryLimitExceeded,
     ProtocolError,
     ReproError,
     ServiceError,
     ServiceOverloadedError,
+    StaleEpochError,
     StalenessError,
     TransactionError,
 )
@@ -95,6 +105,9 @@ MSG_DISCARD = 0x13
 # Replication (replica → leader requests) ----------------------------------
 MSG_SUBSCRIBE = 0x20
 MSG_WAL_ACK = 0x21
+# Admin (operator → server requests) ----------------------------------------
+MSG_PROMOTE = 0x30
+MSG_REPOINT = 0x31
 # Server → client ----------------------------------------------------------
 MSG_SUCCESS = 0x70
 MSG_RECORD = 0x71
@@ -113,6 +126,8 @@ MESSAGE_NAMES = {
     MSG_DISCARD: "DISCARD",
     MSG_SUBSCRIBE: "SUBSCRIBE",
     MSG_WAL_ACK: "WAL_ACK",
+    MSG_PROMOTE: "PROMOTE",
+    MSG_REPOINT: "REPOINT",
     MSG_SUCCESS: "SUCCESS",
     MSG_RECORD: "RECORD",
     MSG_WAL_SEGMENT: "WAL_SEGMENT",
@@ -132,6 +147,8 @@ REQUEST_TAGS = frozenset(
         MSG_DISCARD,
         MSG_SUBSCRIBE,
         MSG_WAL_ACK,
+        MSG_PROMOTE,
+        MSG_REPOINT,
     )
 )
 
@@ -256,6 +273,8 @@ _RETRYABLE = (
     MemoryLimitExceeded,
     TransactionError,
     StalenessError,
+    StaleEpochError,
+    LeaderUnavailableError,
 )
 
 

@@ -15,6 +15,7 @@ from repro import FaultInjector, GraphDatabase, SimulatedCrashError
 from repro.durability import (
     CHECKPOINT_KILL_POINTS,
     KILL_POINTS,
+    PROMOTION_KILL_POINTS,
     REPLICATION_KILL_POINTS,
     SPILL_KILL_POINTS,
     WAL_KILL_POINTS,
@@ -230,16 +231,21 @@ def test_every_kill_point_is_exercised(tmp_path):
 
     Replication kill-points fire on the shipping/apply path, which needs a
     leader/replica topology — their matrix lives in
-    ``tests/test_replication.py`` (same arm → crash → recover → assert
+    ``tests/test_replication.py``; promotion kill-points fire during
+    controlled failover and their matrix lives in
+    ``tests/test_failover.py`` (same arm → crash → recover → assert
     discipline); here they only count toward coverage."""
     covered = (
         set(WAL_PROCESS_CRASH_EXPECTATION)
         | set(CHECKPOINT_KILL_POINTS)
         | set(SPILL_KILL_POINTS)
         | set(REPLICATION_KILL_POINTS)
+        | set(PROMOTION_KILL_POINTS)
     )
     assert covered == set(KILL_POINTS)
-    for point in set(KILL_POINTS) - set(REPLICATION_KILL_POINTS):
+    for point in set(KILL_POINTS) - set(REPLICATION_KILL_POINTS) - set(
+        PROMOTION_KILL_POINTS
+    ):
         directory = tmp_path / f"fire-{point.replace('.', '-')}"
         injector = FaultInjector()
         kwargs = {}
